@@ -1,0 +1,86 @@
+"""Figure 2 + Figure 3 regeneration: the funarc motivating example.
+
+Paper properties:
+
+* 256 variants on a speedup-error plane;
+* the uniform 32-bit variant is ~1.3-1.4x faster;
+* an optimal frontier exists, containing a variant (all-32 except the
+  accumulator ``s1``) nearly as fast as uniform-32 with several-fold
+  less error;
+* ~67% of variants are worse than the 64-bit baseline on BOTH axes
+  despite having more 32-bit variables (casting overhead).
+
+Figure 3 is the diff of the chosen frontier variant.
+"""
+
+from pathlib import Path
+
+from repro.core import BruteForceSearch, Evaluator, FunctionOracle
+from repro.core.search import optimal_frontier
+from repro.models import FunarcCase
+from repro.reporting import (ascii_scatter, scatter_from_records, to_csv,
+                             variant_diff)
+
+OUT = Path(__file__).resolve().parent / "out"
+
+
+def test_bench_fig2_funarc_sweep(benchmark, funarc_brute):
+    case, evaluator, result = funarc_brute
+
+    # Benchmark the per-variant evaluation cost (the sweep itself ran in
+    # the session fixture; timing one uncached evaluation is the unit
+    # cost of the 256-variant figure).
+    fresh = Evaluator(case)
+    benchmark.pedantic(
+        lambda: fresh._evaluate_uncached(case.space.all_single(), 0),
+        rounds=3, iterations=1)
+
+    records = result.records
+    assert len(records) == 256
+
+    series = scatter_from_records(records, "Figure 2: funarc variants",
+                                  error_threshold=case.error_threshold)
+    print("\n" + ascii_scatter(series))
+    (OUT / "fig2_funarc.csv").write_text(to_csv(series))
+
+    # --- uniform 32-bit speedup ~1.3-1.4x -------------------------------
+    uniform32 = next(r for r in records if r.fraction_lowered == 1.0)
+    assert 1.25 <= uniform32.speedup <= 1.55
+
+    # --- majority of variants worse on both axes -------------------------
+    done = [r for r in records if r.speedup is not None]
+    worse_both = sum(1 for r in done if r.speedup < 1.0 and r.error > 0)
+    frac = worse_both / len(done)
+    print(f"variants worse on both axes: {100 * frac:.1f}% (paper ~67%)")
+    assert 0.5 <= frac <= 0.85
+
+    # --- optimal frontier with the keep-s1 variant ------------------------
+    frontier = optimal_frontier(records)
+    assert len(frontier) >= 3
+    # Find the frontier variant with 7/8 atoms lowered: it must keep s1.
+    seven_eighth = [r for r in frontier
+                    if abs(r.fraction_lowered - 7 / 8) < 1e-9]
+    assert seven_eighth, "frontier lacks an all-but-one variant"
+    best = seven_eighth[0]
+    assert best.error < uniform32.error      # more correct than uniform 32
+    assert best.speedup > 0.92 * uniform32.speedup  # nearly as fast
+
+    s1_index = [a.qualified for a in case.space.atoms].index(
+        "funarc_mod::funarc::s1")
+    assert best.kinds[s1_index] == 8
+
+
+def test_bench_fig3_variant_diff(benchmark, funarc_brute):
+    case, evaluator, result = funarc_brute
+    assignment = case.space.all_single().with_kinds(
+        {"funarc_mod::funarc::s1": 8})
+    diff = benchmark.pedantic(
+        lambda: variant_diff(case.source, assignment), rounds=1,
+        iterations=1)
+    print("\n" + diff)
+    (OUT / "fig3_diff.txt").write_text(diff)
+
+    # The Figure 3 shape: split declaration keeping s1 at 64-bit.
+    assert "real(kind=8) :: s1" in diff
+    assert "real(kind=4) :: h, t1, t2, dppi" in diff
+    assert "real(kind=4) :: x, t1, d1" in diff

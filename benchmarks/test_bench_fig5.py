@@ -1,0 +1,108 @@
+"""Figure 5 regeneration: hotspot-guided speedup-error scatters.
+
+Artifact-appendix validation properties asserted per panel:
+
+* MPAS-A: best ~1.9x; <30% 32-bit variants <= ~1x; >90% 32-bit variants
+  fast (>= 1.4x, most >= 1.8x); 50-89% variants span 0.7-1.8x-ish with
+  casting-overhead outliers below.
+* ADCIRC: best ~1.1x; a high-speedup/high-error cluster from the
+  collapsed ``cme`` stopping test.
+* MOM6: best ~1x; the executable >98%-32-bit variants land at 0.2-0.6x.
+"""
+
+import numpy as np
+from pathlib import Path
+
+from repro.core import Outcome
+from repro.reporting import ascii_scatter, scatter_from_records, to_csv
+
+OUT = Path(__file__).resolve().parent / "out"
+
+
+def _series(campaign, title):
+    case = campaign.evaluator.model
+    series = scatter_from_records(campaign.records, title,
+                                  error_threshold=case.error_threshold)
+    print("\n" + ascii_scatter(series))
+    return series
+
+
+def _completed(campaign):
+    return [r for r in campaign.records if r.speedup is not None]
+
+
+def test_bench_fig5_mpas(benchmark, mpas_campaign):
+    series = benchmark.pedantic(
+        lambda: _series(mpas_campaign, "Figure 5: MPAS-A hotspot search"),
+        rounds=1, iterations=1)
+    (OUT / "fig5_mpas.csv").write_text(to_csv(series))
+
+    recs = _completed(mpas_campaign)
+    best_pass = mpas_campaign.search.best_speedup()
+    assert best_pass > 1.5                          # paper ~1.9x
+
+    low = [r.speedup for r in recs if r.fraction_lowered < 0.30]
+    high = [r.speedup for r in recs if r.fraction_lowered > 0.90]
+    mid = [r.speedup for r in recs if 0.50 <= r.fraction_lowered <= 0.89]
+    if low:
+        assert np.median(low) <= 1.1                # mostly <= 1x
+    assert high and np.median(high) >= 1.55         # mostly fast
+    assert max(high) >= 1.8
+    if mid:
+        assert min(mid) < 1.0 or np.median(mid) < max(high)
+
+    # Frontier variants more correct than uniform 32-bit (paper IV-B).
+    uniform32 = next((r for r in recs if r.fraction_lowered == 1.0), None)
+    if uniform32 is not None:
+        better = [r for r in recs
+                  if r.outcome is Outcome.PASS and r.error < uniform32.error]
+        assert better
+
+
+def test_bench_fig5_adcirc(benchmark, adcirc_campaign):
+    series = benchmark.pedantic(
+        lambda: _series(adcirc_campaign, "Figure 5: ADCIRC hotspot search"),
+        rounds=1, iterations=1)
+    (OUT / "fig5_adcirc.csv").write_text(to_csv(series))
+
+    recs = _completed(adcirc_campaign)
+    best_pass = adcirc_campaign.search.best_speedup()
+    assert 1.0 < best_pass < 1.4                    # paper ~1.1x
+
+    # Upper-right cluster: fast but intolerably wrong (collapsed cme).
+    case = adcirc_campaign.evaluator.model
+    fast_wrong = [r for r in recs
+                  if r.speedup > 2.0 and r.error > case.error_threshold]
+    assert fast_wrong
+    assert all(r.outcome is Outcome.FAIL for r in fast_wrong)
+
+    # Lower-right: correct variants are all modest.
+    correct = [r for r in recs if r.outcome is Outcome.PASS]
+    assert correct and max(r.speedup for r in correct) < 1.4
+
+
+def test_bench_fig5_mom6(benchmark, mom6_campaign):
+    series = benchmark.pedantic(
+        lambda: _series(mom6_campaign, "Figure 5: MOM6 hotspot search"),
+        rounds=1, iterations=1)
+    (OUT / "fig5_mom6.csv").write_text(to_csv(series))
+
+    recs = _completed(mom6_campaign)
+    best_pass = mom6_campaign.search.best_speedup()
+    assert best_pass < 1.2                          # paper < 1.1x
+
+    # Executable >98%-32-bit variants: slowdowns of 0.2-0.6x.
+    nearly_all32 = [r for r in recs if r.fraction_lowered > 0.98]
+    if nearly_all32:
+        for r in nearly_all32:
+            assert 0.15 <= r.speedup <= 0.7
+
+    # Runtime errors in force among meaningfully-lowered variants
+    # (paper: 95% of >10%-32-bit variants; our DD tail of harmless
+    # singleton probes dilutes the share — EXPERIMENTS.md discusses).
+    lowered = [r for r in mom6_campaign.records
+               if r.fraction_lowered > 0.10]
+    if lowered:
+        err_frac = sum(1 for r in lowered
+                       if r.outcome is Outcome.RUNTIME_ERROR) / len(lowered)
+        assert err_frac > 0.10

@@ -1,0 +1,97 @@
+"""Figure 6 regeneration: per-procedure variant performance.
+
+Artifact-appendix properties:
+
+* MPAS-A: many more unique variants for ``atm_compute_dyn_tend_work``
+  and the flux procedures than for the acoustic/recover work routines;
+  some flux variants with critical slowdown (paper: 0.03-0.1x per call).
+* ADCIRC: best ``peror``/``pjac`` variants around 1.1-1.2x; bimodal
+  ``jcg`` (<= 1x and a fast wrong mode, paper 3-10x).
+* MOM6: ``zonal_flux_adjust`` variants with 0.01-0.1x per-call slowdown.
+"""
+
+from pathlib import Path
+
+from repro.reporting import procedure_series, to_csv
+
+OUT = Path(__file__).resolve().parent / "out"
+
+
+def _panels(campaign):
+    case = campaign.evaluator.model
+    base = campaign.evaluator.baseline_cost
+    baseline_perf = {
+        p: (base.proc_calls.get(p, 0), base.proc_seconds.get(p, 0.0))
+        for p in case.hotspot_procedures
+    }
+    return procedure_series(campaign.records, case.space, baseline_perf,
+                            sorted(case.hotspot_procedures))
+
+
+def _dump(panels, prefix):
+    for proc, series in panels.items():
+        name = proc.rpartition("::")[2]
+        (OUT / f"{prefix}_{name}.csv").write_text(to_csv(series))
+
+
+def _speedups(panels, suffix):
+    for proc, series in panels.items():
+        if proc.endswith(suffix):
+            return [p.x for p in series.points]
+    return []
+
+
+def test_bench_fig6_mpas(benchmark, mpas_campaign):
+    panels = benchmark.pedantic(lambda: _panels(mpas_campaign),
+                                rounds=1, iterations=1)
+    _dump(panels, "fig6_mpas")
+
+    counts = {proc.rpartition("::")[2]: len(series.points)
+              for proc, series in panels.items()}
+    print("\nunique procedure variants:", counts)
+
+    # Some flux variants show critical per-call slowdown.
+    flux_speedups = (_speedups(panels, "::flux3")
+                     + _speedups(panels, "::flux4"))
+    assert flux_speedups
+    assert min(flux_speedups) < 0.2        # paper: 0.03-0.1x tail
+    assert max(flux_speedups) > 1.3        # and fast uniform variants
+
+
+def test_bench_fig6_adcirc(benchmark, adcirc_campaign):
+    panels = benchmark.pedantic(lambda: _panels(adcirc_campaign),
+                                rounds=1, iterations=1)
+    _dump(panels, "fig6_adcirc")
+
+    peror = _speedups(panels, "::peror")
+    pjac = _speedups(panels, "::pjac")
+    jcg = _speedups(panels, "::jcg")
+    print(f"\nperor range: {min(peror):.2f}-{max(peror):.2f}  "
+          f"pjac range: {min(pjac):.2f}-{max(pjac):.2f}  "
+          f"jcg range: {min(jcg):.2f}-{max(jcg):.2f}")
+
+    # peror / pjac barely benefit: best ~1.1-1.2x (paper property).
+    assert 1.0 <= max(peror) <= 1.35
+    assert 1.0 <= max(pjac) <= 1.35
+
+    # jcg bimodal: a <=1x mode and a fast (collapsed stopping test) mode.
+    assert min(jcg) <= 1.05
+    assert max(jcg) > 2.0                  # paper: 3-10x
+
+    # dyn-tend analogue: jcg drew far more exploration than itjcg.
+    counts = {proc.rpartition("::")[2]: len(series.points)
+              for proc, series in panels.items()}
+    assert counts["jcg"] >= counts["itjcg"]
+
+
+def test_bench_fig6_mom6(benchmark, mom6_campaign):
+    panels = benchmark.pedantic(lambda: _panels(mom6_campaign),
+                                rounds=1, iterations=1)
+    _dump(panels, "fig6_mom6")
+
+    adjust = _speedups(panels, "::zonal_flux_adjust")
+    assert adjust
+    print(f"\nzonal_flux_adjust per-call speedups: "
+          f"{min(adjust):.3f}-{max(adjust):.3f}")
+    # The stalled-Newton tail (paper: 0.01-0.1x).
+    assert min(adjust) < 0.25

@@ -1,0 +1,40 @@
+"""Table I regeneration: hotspot CPU-time shares and FP variable counts.
+
+Paper values: MPAS-A atm_time_integration 15% / 445 vars; ADCIRC itpackv
+12% / 468; MOM6 MOM_continuity_PPM 9% / 351.  The miniatures must land
+near the paper's CPU shares; variable counts are smaller by construction
+(miniature hotspots) and are reported side by side.
+"""
+
+from pathlib import Path
+
+from repro.models import AdcircCase, Mom6Case, MpasCase
+from repro.reporting import render_table1, table1
+
+OUT = Path(__file__).resolve().parent / "out"
+
+
+def test_bench_table1(benchmark):
+    models = [MpasCase(), AdcircCase(), Mom6Case()]
+
+    rows = benchmark.pedantic(lambda: table1(models), rounds=1, iterations=1)
+
+    text = render_table1(rows)
+    print("\n" + text)
+    (OUT / "table1.txt").write_text(text + "\n")
+
+    by_model = {r.model: r for r in rows}
+    # CPU shares in the paper's neighbourhood.
+    assert 0.10 <= by_model["mpas-a"].cpu_share <= 0.25      # paper 15%
+    assert 0.07 <= by_model["adcirc"].cpu_share <= 0.20      # paper 12%
+    assert 0.04 <= by_model["mom6"].cpu_share <= 0.15        # paper  9%
+    # Ordering matches the paper: MPAS > ADCIRC > MOM6.
+    assert (by_model["mpas-a"].cpu_share
+            > by_model["adcirc"].cpu_share
+            > by_model["mom6"].cpu_share)
+    # Module names as in the paper.
+    assert by_model["mpas-a"].module == "atm_time_integration"
+    assert by_model["adcirc"].module == "itpackv"
+    assert by_model["mom6"].module == "MOM_continuity_PPM"
+    # Dozens of FP variables per hotspot (paper: hundreds; scaled).
+    assert all(r.fp_vars >= 40 for r in rows)

@@ -1,0 +1,54 @@
+"""Table II regeneration: variant outcome summary per search.
+
+Paper row shapes that must hold on the miniatures:
+
+* MPAS-A: pass and fail both substantial, no runtime errors,
+  best speedup by far the largest of the three (paper 1.95x);
+* ADCIRC: all of pass/fail/error populated (paper 36/34/30),
+  best speedup modest (paper 1.12x);
+* MOM6: runtime errors dominate (paper 51.7%), best speedup
+  negligible (paper 1.04x), search terminated by the 12-hour budget.
+"""
+
+from pathlib import Path
+
+from repro.reporting import render_table2
+
+OUT = Path(__file__).resolve().parent / "out"
+
+
+def test_bench_table2(benchmark, all_campaigns, mom6_campaign):
+    def summarize():
+        return [c.summary() for c in all_campaigns.values()]
+
+    summaries = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    text = render_table2(summaries)
+    print("\n" + text)
+    (OUT / "table2.txt").write_text(text + "\n")
+
+    by_model = {s.model: s for s in summaries}
+    mpas, adcirc, mom6 = (by_model["mpas-a"], by_model["adcirc"],
+                          by_model["mom6"])
+
+    # --- MPAS-A row -----------------------------------------------------
+    assert mpas.error_pct == 0.0                 # paper: 0%
+    assert mpas.pass_pct > 20 and mpas.fail_pct > 30
+    assert mpas.best_speedup > 1.5               # paper: 1.95x
+
+    # --- ADCIRC row ------------------------------------------------------
+    assert adcirc.error_pct > 5                  # paper: 29.7%
+    assert adcirc.pass_pct > 10 and adcirc.fail_pct > 20
+    assert 1.0 < adcirc.best_speedup < 1.4       # paper: 1.12x
+
+    # --- MOM6 row ---------------------------------------------------------
+    # Runtime errors present in force (paper: 51.7%; the miniature's DD
+    # tail of harmless singleton probes keeps our share lower — see
+    # EXPERIMENTS.md).
+    assert mom6.error_pct > 8
+    assert mom6.best_speedup < 1.2               # paper: 1.04x
+    assert not mom6.finished                     # budget exhausted
+    assert mom6.total > mpas.total               # MOM6 explored the most
+
+    # Who wins, in order (paper: 1.95 > 1.12 > 1.04).
+    assert (mpas.best_speedup > adcirc.best_speedup
+            >= mom6.best_speedup * 0.9)

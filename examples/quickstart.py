@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: tune the funarc motivating example (paper Section II-B).
+
+Runs the full FPPT cycle of the paper's Figure 1 on the classic arc-length
+program: search space from FP declarations, delta-debugging search,
+dynamic evaluation with Eq.-1 speedup and relative-error correctness, and
+a Figure-3-style diff of the chosen variant.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DeltaDebugSearch, Evaluator, FunctionOracle
+from repro.core.search import optimal_frontier
+from repro.models import FunarcCase
+from repro.reporting import ascii_scatter, scatter_from_records, variant_diff
+
+
+def main() -> None:
+    # 1. The target program: funarc, with its 8 FP declarations as atoms.
+    case = FunarcCase(n=400)
+    print(case.describe())
+    print(f"search space: 2^{len(case.space)} = {case.space.size} variants")
+
+    # 2. Baseline (uniform 64-bit) evaluation.
+    evaluator = Evaluator(case)
+    print(f"baseline hotspot CPU time: "
+          f"{evaluator.baseline_hotspot * 1e6:.1f} us (simulated)")
+
+    # 3. Delta-debugging search for a 1-minimal variant.
+    oracle = FunctionOracle(fn=evaluator.evaluate)
+    result = DeltaDebugSearch().run(case.space, oracle)
+    print(f"\nsearch evaluated {result.evaluations} variants in "
+          f"{result.batches} batches (finished={result.finished})")
+
+    # 4. The 1-minimal variant.
+    final = result.final_record
+    if final is not None:
+        kept = sorted(q.split('::', 1)[1] for q in result.final.high())
+        print(f"1-minimal variant: {final.speedup:.2f}x speedup, "
+              f"relative error {final.error:.2e}")
+        print(f"variables kept at 64-bit: {kept}")
+
+    # 5. The design-space picture (Figure 2 flavour).
+    series = scatter_from_records(result.records, "funarc search trace",
+                                  error_threshold=case.error_threshold)
+    print("\n" + ascii_scatter(series))
+
+    frontier = optimal_frontier(result.records)
+    print("optimal frontier (error, speedup, %32-bit):")
+    for r in frontier:
+        print(f"  {r.error:10.2e}  {r.speedup:6.2f}x  "
+              f"{100 * r.fraction_lowered:5.1f}%")
+
+    # 6. The Figure-3 diff of the chosen variant, for the domain expert.
+    print("\nsource diff of the 1-minimal variant:")
+    print(variant_diff(case.source, result.final))
+
+
+if __name__ == "__main__":
+    main()

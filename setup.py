@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+This environment lacks the ``wheel`` package and has no network, so
+PEP-660 editable installs cannot build. Keeping a ``setup.py`` lets
+``pip install -e .`` take the legacy ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+)

@@ -1,0 +1,29 @@
+"""Automated, performance-guided floating-point precision tuning (FPPT)
+for Fortran weather and climate model hotspots.
+
+A faithful, self-contained reproduction of the SC'24 case study "Toward
+Automated Precision Tuning of Weather and Climate Models": the bespoke
+Fortran transformation tool (parser, precision retyping, Fig.-4 wrapper
+generation, taint-based program reduction), the Precimonious-style
+delta-debugging search, the dynamic evaluation harness (Eq.-1 speedup,
+per-model correctness criteria), miniature MPAS-A / ADCIRC / MOM6
+substrates, and the static Lessons-Learned analyses.
+
+Quick start::
+
+    from repro.models import FunarcCase
+    from repro.core import Evaluator, DeltaDebugSearch, FunctionOracle
+
+    case = FunarcCase()
+    evaluator = Evaluator(case)
+    result = DeltaDebugSearch().run(
+        case.space, FunctionOracle(fn=evaluator.evaluate))
+    print(result.final_record.speedup, result.final.high())
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, errors, fortran, models, perf, reporting
+
+__all__ = ["analysis", "core", "errors", "fortran", "models", "perf",
+           "reporting", "__version__"]

@@ -1,0 +1,19 @@
+"""Static analyses from the paper's Lessons Learned (Section V).
+
+The three tunable-hotspot criteria (`tunability`), the static variant
+screening cost models (`screening`), the FP data-flow DAG they rest on
+(`dataflow`), and flow-based atom clustering (`clustering`).
+"""
+
+from .clustering import AtomCluster, cast_arith_ratio, cluster_atoms
+from .dataflow import FPDataFlow, build_dataflow
+from .screening import (ScreenVerdict, StaticScreen, casting_penalty,
+                        screen_variant, vectorization_loss)
+from .tunability import TunabilityReport, assess_hotspot
+
+__all__ = [
+    "AtomCluster", "cast_arith_ratio", "cluster_atoms", "FPDataFlow",
+    "build_dataflow", "ScreenVerdict", "StaticScreen", "casting_penalty",
+    "screen_variant", "vectorization_loss", "TunabilityReport",
+    "assess_hotspot",
+]

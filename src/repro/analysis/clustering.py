@@ -1,0 +1,104 @@
+"""Atom clustering from data-flow community structure.
+
+The paper points to GPUMixer [27] (clustering operations to minimize the
+casting-to-arithmetic ratio) and HiFPTuner [6] (community structure) as
+the static analyses that could make FPPT scale.  This module implements
+the variable-level analogue on the FP data-flow DAG: variables that
+exchange values frequently are grouped so a search can lower whole
+clusters at once, shrinking the effective search space from 2^n to
+2^(#clusters).
+
+The hierarchical search in :mod:`repro.core.search.hierarchical` uses
+per-procedure grouping; :func:`cluster_atoms` provides the sharper
+flow-based grouping for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.atoms import SearchAtom
+from .dataflow import FPDataFlow
+
+__all__ = ["AtomCluster", "cluster_atoms", "cast_arith_ratio"]
+
+
+@dataclass(frozen=True)
+class AtomCluster:
+    """A group of atoms that should share one precision."""
+
+    members: tuple[str, ...]
+    internal_edges: int
+    boundary_edges: int
+
+    @property
+    def cohesion(self) -> float:
+        """Internal / total edge ratio — GPUMixer's objective flavour."""
+        total = self.internal_edges + self.boundary_edges
+        return self.internal_edges / total if total else 1.0
+
+
+def cluster_atoms(dataflow: FPDataFlow,
+                  atoms: list[SearchAtom]) -> list[AtomCluster]:
+    """Partition the atoms into flow-connected clusters.
+
+    Uses greedy modularity communities on the undirected FP data-flow
+    graph restricted to the atom set; singleton atoms with no flow edges
+    form their own clusters.
+    """
+    names = {a.qualified for a in atoms}
+    sub = dataflow.graph.subgraph(
+        [n for n in dataflow.graph if n in names]).to_undirected()
+
+    communities: list[set[str]] = []
+    connected = [c for c in nx.connected_components(sub) if len(c) > 1]
+    for component in connected:
+        comp_graph = sub.subgraph(component)
+        if len(component) > 6:
+            communities.extend(
+                set(c) for c in
+                nx.algorithms.community.greedy_modularity_communities(
+                    comp_graph)
+            )
+        else:
+            communities.append(set(component))
+    clustered = set().union(*communities) if communities else set()
+    for name in sorted(names - clustered):
+        communities.append({name})
+
+    out = []
+    for community in communities:
+        internal = sub.subgraph(community).number_of_edges()
+        boundary = sum(
+            1 for u, v in sub.edges(community)
+            if (u in community) != (v in community)
+        )
+        out.append(AtomCluster(
+            members=tuple(sorted(community)),
+            internal_edges=internal,
+            boundary_edges=boundary,
+        ))
+    out.sort(key=lambda c: (-len(c.members), c.members))
+    return out
+
+
+def cast_arith_ratio(dataflow: FPDataFlow, lowered: set[str]) -> float:
+    """Casting-to-work ratio of a candidate lowering set.
+
+    Edges crossing the lowered/kept boundary are casts; edges inside the
+    lowered set are fp32 work.  GPUMixer minimizes exactly this kind of
+    ratio when growing clusters.
+    """
+    g = dataflow.graph
+    casts = 0
+    work = 1  # avoid division by zero; one unit of ambient work
+    for u, v in g.edges():
+        u_in = u in lowered
+        v_in = v in lowered
+        if u_in and v_in:
+            work += 1
+        elif u_in != v_in:
+            casts += 1
+    return casts / work

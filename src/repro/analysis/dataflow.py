@@ -1,0 +1,117 @@
+"""FP data-flow DAG construction (paper Section V).
+
+The Lessons Learned call for "tools for IR manipulation/analysis to
+construct a DAG based on def-use and use-def chains" to support
+criteria (2) and (3).  This module builds that DAG for the Fortran
+subset directly from the AST:
+
+* nodes are FP variables (qualified names) plus call-boundary edges
+  from :mod:`repro.fortran.callgraph`;
+* a def-use edge ``a -> b`` means a value of ``a`` flows into a value
+  assigned to ``b`` within some statement;
+* call edges carry the static call-site count and array-element hints
+  used by the screening cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..fortran import ast_nodes as F
+from ..fortran.callgraph import CallGraphs, build_graphs
+from ..fortran.symbols import ProgramIndex
+
+__all__ = ["FPDataFlow", "build_dataflow"]
+
+
+@dataclass
+class FPDataFlow:
+    """Def-use graph over FP variables plus the precision-flow graph."""
+
+    graph: nx.DiGraph
+    callgraphs: CallGraphs
+    index: ProgramIndex = field(repr=False, default=None)  # type: ignore
+
+    def predecessors_of(self, qualified: str) -> set[str]:
+        if qualified not in self.graph:
+            return set()
+        return set(self.graph.predecessors(qualified))
+
+    def successors_of(self, qualified: str) -> set[str]:
+        if qualified not in self.graph:
+            return set()
+        return set(self.graph.successors(qualified))
+
+    def flow_closure(self, seeds: set[str]) -> set[str]:
+        """All variables reachable (either direction) from *seeds* —
+        the variables that 'flow together' and likely want the same
+        precision (the clustering intuition of HiFPTuner/GPUMixer)."""
+        undirected = self.graph.to_undirected(as_view=True)
+        out: set[str] = set()
+        for seed in seeds:
+            if seed in undirected:
+                out |= nx.node_connected_component(undirected, seed)
+        return out
+
+    def boundary_edges(self) -> list[tuple[str, str, dict]]:
+        """Parameter-passing edges (interprocedural flow instances)."""
+        return [
+            (u, v, d) for u, v, d in self.graph.edges(data=True)
+            if d.get("kind") == "call"
+        ]
+
+
+def _real_names_in(expr: F.Expr, index: ProgramIndex, scope: str) -> set[str]:
+    out: set[str] = set()
+    for node in F.walk(expr):
+        name = None
+        if isinstance(node, F.Name):
+            name = node.name
+        elif isinstance(node, F.Apply):
+            name = node.name
+        if name is None:
+            continue
+        sym = index.resolve(scope, name)
+        if sym is not None and sym.type_ == "real" and not sym.is_parameter:
+            out.add(sym.qualified)
+    return out
+
+
+def build_dataflow(index: ProgramIndex) -> FPDataFlow:
+    """Construct the FP def-use DAG for a whole program."""
+    g = nx.DiGraph()
+    for sym in index.fp_symbols():
+        g.add_node(sym.qualified, is_array=sym.is_array, kind=sym.kind)
+
+    for qual, scope_info in index.procedures.items():
+        proc = scope_info.node
+        assert isinstance(proc, F.ProcedureUnit)
+        for stmt in F.walk(proc):
+            if not isinstance(stmt, F.Assignment):
+                continue
+            target = stmt.target
+            tname = None
+            if isinstance(target, F.Name):
+                tname = target.name
+            elif isinstance(target, F.Apply):
+                tname = target.name
+            if tname is None:
+                continue
+            tsym = index.resolve(qual, tname)
+            if tsym is None or tsym.type_ != "real" or tsym.is_parameter:
+                continue
+            for src in _real_names_in(stmt.value, index, qual):
+                if src != tsym.qualified:
+                    g.add_edge(src, tsym.qualified, kind="assign")
+
+    graphs = build_graphs(index)
+    for site in graphs.sites:
+        for b in site.bindings:
+            if b.actual_qualified is None:
+                continue
+            g.add_edge(b.actual_qualified, b.dummy_qualified, kind="call",
+                       elements=b.elements_hint, caller=site.caller,
+                       callee=site.callee)
+    return FPDataFlow(graph=g, callgraphs=graphs, index=index)

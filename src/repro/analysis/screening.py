@@ -1,0 +1,170 @@
+"""Static variant screening (paper Section V recommendations).
+
+Two filters that avoid the cost of *dynamically* evaluating obviously
+bad variants:
+
+* :func:`casting_penalty` — the static cost model the paper sketches
+  three times ("a penalty for mixed-precision interprocedural data flow
+  as a function of the number of calls [and] the number of array
+  elements"): for a candidate assignment, sum over call sites whose
+  interface kinds mismatch, weighted by static call count and element
+  hints.
+* :func:`vectorization_loss` — "filter out variants that have less
+  vectorization than the baseline prior to execution": count innermost
+  loops whose inlinable calls become wrapped (→ devectorized) under the
+  assignment.
+
+:func:`screen_variant` combines both into an accept/reject decision with
+an explanation, and :class:`StaticScreen` applies it over batches, the
+way a screening-enabled search would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.assignment import PrecisionAssignment
+from ..fortran.callgraph import CallGraphs
+from ..fortran.symbols import ProgramIndex
+from ..fortran.vectorize import ProgramVecInfo
+
+__all__ = ["ScreenVerdict", "casting_penalty", "vectorization_loss",
+           "screen_variant", "StaticScreen"]
+
+
+@dataclass
+class ScreenVerdict:
+    accepted: bool
+    casting_penalty: float
+    devectorized_loops: int
+    reasons: list[str] = field(default_factory=list)
+
+
+def _caller_in(site, caller_scopes: Optional[set[str]]) -> bool:
+    if caller_scopes is None:
+        return True
+    return any(site.caller == s or site.caller.startswith(s + "::")
+               for s in caller_scopes)
+
+
+def casting_penalty(
+    graphs: CallGraphs,
+    overlay: dict[str, int],
+    call_weight: float = 1.0,
+    element_weight: float = 1.0,
+    caller_scopes: Optional[set[str]] = None,
+) -> float:
+    """Penalty ~ sum over mismatched bindings of calls x elements.
+
+    Static call counts stand in for dynamic ones (the paper notes
+    GPUMixer-style analyses "do not take into account execution counts";
+    loop-nest trip counts are unknown statically, so the element hint
+    carries the volume signal here).
+    """
+    penalty = 0.0
+    for site in graphs.sites:
+        if not _caller_in(site, caller_scopes):
+            continue
+        for b in site.mismatched(overlay):
+            penalty += call_weight + element_weight * b.elements_hint
+    return penalty
+
+
+def vectorization_loss(
+    index: ProgramIndex,
+    vec_info: ProgramVecInfo,
+    graphs: CallGraphs,
+    overlay: dict[str, int],
+) -> int:
+    """Innermost loops that lose vectorization under *overlay*.
+
+    A loop that vectorized only because its calls were inlinable loses
+    that status when any of those call sites now needs a wrapper.
+    """
+    # Call sites with mismatches, grouped by caller.
+    wrapped_callees_by_caller: dict[str, set[str]] = {}
+    for site in graphs.sites:
+        if site.mismatched(overlay):
+            wrapped_callees_by_caller.setdefault(site.caller, set()).add(
+                site.callee.rpartition("::")[2]
+            )
+
+    lost = 0
+    for qual, info in vec_info.procs.items():
+        wrapped = wrapped_callees_by_caller.get(qual)
+        if not wrapped:
+            continue
+        for verdict in info.loops:
+            if verdict.vectorizable and set(verdict.calls) & wrapped:
+                lost += 1
+    return lost
+
+
+def screen_variant(
+    index: ProgramIndex,
+    vec_info: ProgramVecInfo,
+    graphs: CallGraphs,
+    assignment: PrecisionAssignment,
+    penalty_budget: float = 2000.0,
+    max_lost_loops: int = 0,
+    caller_scopes: Optional[set[str]] = None,
+) -> ScreenVerdict:
+    """Accept/reject a variant before dynamic evaluation.
+
+    ``caller_scopes`` restricts the casting penalty to call sites whose
+    caller lies inside the given scopes — for a *hotspot-guided* search
+    only hotspot-internal mismatches predict hotspot slowdown (inbound
+    casts land in the un-timed caller; see paper §IV-C).
+    """
+    overlay = dict(assignment.as_mapping())
+    penalty = casting_penalty(graphs, overlay, caller_scopes=caller_scopes)
+    lost = vectorization_loss(index, vec_info, graphs, overlay)
+    reasons = []
+    if penalty > penalty_budget:
+        reasons.append(
+            f"casting penalty {penalty:.0f} exceeds budget {penalty_budget:.0f}"
+        )
+    if lost > max_lost_loops:
+        reasons.append(f"{lost} loops would lose vectorization")
+    return ScreenVerdict(
+        accepted=not reasons,
+        casting_penalty=penalty,
+        devectorized_loops=lost,
+        reasons=reasons,
+    )
+
+
+@dataclass
+class StaticScreen:
+    """Batch screening helper with counters for reporting."""
+
+    index: ProgramIndex
+    vec_info: ProgramVecInfo
+    graphs: CallGraphs
+    penalty_budget: float = 2000.0
+    max_lost_loops: int = 0
+    caller_scopes: Optional[set[str]] = None
+    screened_out: int = 0
+    examined: int = 0
+
+    def filter_batch(
+        self, assignments: list[PrecisionAssignment]
+    ) -> tuple[list[PrecisionAssignment], list[ScreenVerdict]]:
+        kept = []
+        verdicts = []
+        for a in assignments:
+            v = screen_variant(self.index, self.vec_info, self.graphs, a,
+                               self.penalty_budget, self.max_lost_loops,
+                               caller_scopes=self.caller_scopes)
+            verdicts.append(v)
+            self.examined += 1
+            if v.accepted:
+                kept.append(a)
+            else:
+                self.screened_out += 1
+        return kept, verdicts
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.screened_out / self.examined if self.examined else 0.0

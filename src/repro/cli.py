@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow stages:
+
+``list``            available model cases
+``profile MODEL``   GPTL-style timer report + hotspot share (Table I row)
+``assess MODEL``    the three tunable-hotspot criteria (paper §V)
+``tune MODEL``      run a precision-tuning search and report the results
+``transform MODEL`` apply an assignment as source-to-source transformation
+``reduce MODEL``    show the taint-based program reduction (paper §III-C)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis import assess_hotspot, build_dataflow
+from .core import (CampaignConfig, DeltaDebugSearch, Evaluator,
+                   HierarchicalSearch, RandomSearch, ScreenedDeltaDebug,
+                   run_campaign)
+from .core.results import save_records
+from .fortran import reduce_program, unparse
+from .models import MODEL_FACTORIES, get_model
+from .perf import DERECHO, time_execution
+from .reporting import (ascii_scatter, scatter_from_records, variant_diff,
+                        variant_source)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated precision tuning of weather/climate model "
+                    "miniatures (SC'24 case-study reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available model cases")
+
+    p = sub.add_parser("profile", help="profile a model (Table I row)")
+    p.add_argument("model", help="model name (see `repro list`)")
+
+    p = sub.add_parser("assess", help="tunability criteria (paper section V)")
+    p.add_argument("model")
+
+    p = sub.add_parser("tune", help="run a precision-tuning search")
+    p.add_argument("model")
+    p.add_argument("--algorithm", default="dd",
+                   choices=["dd", "random", "hierarchical", "screened"],
+                   help="search strategy (default: delta debugging)")
+    p.add_argument("--max-evals", type=int, default=600,
+                   help="evaluation cap (default 600)")
+    p.add_argument("--budget-hours", type=float, default=12.0,
+                   help="simulated wall-clock budget (default 12h)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="override the correctness threshold")
+    p.add_argument("--out", default=None,
+                   help="write raw variant records (JSON) to this path")
+
+    p = sub.add_parser("transform",
+                       help="apply a precision assignment to the source")
+    p.add_argument("model")
+    p.add_argument("--lower", default="",
+                   help="comma-separated qualified names to lower to 32-bit "
+                        "('all' lowers every atom)")
+    p.add_argument("--diff", action="store_true",
+                   help="print a unified diff instead of full source")
+
+    p = sub.add_parser("reduce",
+                       help="taint-based program reduction for an atom set")
+    p.add_argument("model")
+    p.add_argument("--targets", default="all",
+                   help="comma-separated qualified names (default: all atoms)")
+
+    return parser
+
+
+def _resolve_lowered(case, spec: str) -> dict[str, int]:
+    if not spec:
+        return {}
+    if spec == "all":
+        return {a.qualified: 4 for a in case.atoms}
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    valid = {a.qualified for a in case.atoms}
+    unknown = [n for n in names if n not in valid]
+    if unknown:
+        raise SystemExit(f"error: not search atoms: {unknown[:5]}")
+    return {n: 4 for n in names}
+
+
+def _cmd_list(_args) -> int:
+    print("available models:")
+    for name in sorted(MODEL_FACTORIES):
+        case = get_model(name)
+        print(f"  {name:22s} {case.paper_module:22s} "
+              f"{case.atom_count():4d} atoms  {case.description}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    case = get_model(args.model)
+    print(case.describe())
+    run = case.run(None)
+    report, cost = time_execution(
+        run.ledger, DERECHO, inlinable=case.vec_info.inlinable,
+        timed_procs=case.timed_procedures)
+    print(report.render())
+    share = cost.share(case.hotspot_procedures)
+    print(f"\nhotspot CPU share: {100 * share:.1f}% "
+          f"(module {case.paper_module})")
+    return 0
+
+
+def _cmd_assess(args) -> int:
+    case = get_model(args.model)
+    flow = build_dataflow(case.index)
+    report = assess_hotspot(case.index, case.vec_info, flow,
+                            case.hotspot_scopes)
+    print(report.render())
+    print("\nvectorization report:")
+    for qual in sorted(case.hotspot_procedures):
+        info = case.vec_info.procs.get(qual)
+        if info and info.loops:
+            print(info.report())
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    case = get_model(args.model)
+    if args.threshold is not None:
+        case.error_threshold = args.threshold
+    print(case.describe())
+
+    if args.algorithm == "random":
+        algorithm = RandomSearch(samples=args.max_evals // 2)
+    elif args.algorithm == "hierarchical":
+        algorithm = HierarchicalSearch()
+    elif args.algorithm == "screened":
+        algorithm = ScreenedDeltaDebug.for_model(case)
+    else:
+        algorithm = DeltaDebugSearch()
+
+    config = CampaignConfig(
+        wall_budget_seconds=args.budget_hours * 3600.0,
+        max_evaluations=args.max_evals,
+    )
+    result = run_campaign(case, config, algorithm=algorithm)
+    summary = result.summary()
+    print(f"\nvariants: {summary.total}  pass {summary.pass_pct:.1f}%  "
+          f"fail {summary.fail_pct:.1f}%  timeout {summary.timeout_pct:.1f}%  "
+          f"error {summary.error_pct:.1f}%")
+    print(f"best speedup (passing): {summary.best_speedup:.3f}x  "
+          f"finished: {summary.finished}  "
+          f"simulated wall: {result.wall_hours():.1f} h")
+
+    final = result.search.final_record
+    if final is not None:
+        kept = sorted(result.search.final.high())
+        print(f"1-minimal variant: {final.speedup:.3f}x, "
+              f"error {final.error:.3e}")
+        print(f"64-bit survivors ({len(kept)}):")
+        for name in kept[:20]:
+            print(f"  {name}")
+        if len(kept) > 20:
+            print(f"  ... and {len(kept) - 20} more")
+
+    series = scatter_from_records(result.records, f"{case.name} search",
+                                  error_threshold=case.error_threshold)
+    print("\n" + ascii_scatter(series))
+
+    if args.out:
+        save_records(result.records, args.out)
+        print(f"\nraw records written to {args.out}")
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    case = get_model(args.model)
+    lowered = _resolve_lowered(case, args.lower)
+    assignment = case.space.baseline().with_kinds(lowered)
+    if args.diff:
+        print(variant_diff(case.source, assignment), end="")
+    else:
+        print(variant_source(case.source, assignment))
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    case = get_model(args.model)
+    if args.targets == "all":
+        targets = {a.qualified for a in case.atoms}
+    else:
+        targets = {n.strip() for n in args.targets.split(",") if n.strip()}
+    reduced = reduce_program(case.index, targets)
+    print(f"tainted symbols: {len(reduced.tainted_symbols)}")
+    print(f"kept procedures: {len(reduced.kept_procedures)}")
+    print(f"statement reduction: {100 * reduced.reduction_ratio:.1f}% "
+          "of executable statements dropped")
+    print()
+    print(unparse(reduced.ast))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "profile": _cmd_profile,
+    "assess": _cmd_assess,
+    "tune": _cmd_tune,
+    "transform": _cmd_transform,
+    "reduce": _cmd_reduce,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

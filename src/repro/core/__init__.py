@@ -1,0 +1,33 @@
+"""FPPT core: search space, search algorithms, evaluation, campaigns.
+
+This package implements the archetypal automated dynamic-analysis FPPT
+cycle of the paper's Figure 1: search space construction from FP
+variable declarations (`atoms`, `searchspace`), delta-debugging
+exploration (`search`), per-variant dynamic evaluation with Eq.-1
+speedup and relative-error correctness (`evaluation`, `metrics`,
+`classification`), and full campaign orchestration with node pools and
+wall-clock budgets (`campaign`).
+"""
+
+from .assignment import PrecisionAssignment
+from .atoms import SearchAtom, collect_atoms
+from .campaign import (BudgetedOracle, CampaignConfig, CampaignResult,
+                       CampaignSummary, run_campaign)
+from .classification import Outcome
+from .evaluation import Evaluator, ProcPerf, VariantRecord
+from .metrics import (choose_n_runs, l2_over_axis, median_time,
+                      relative_error, speedup_eq1)
+from .searchspace import SearchSpace
+from .search import (BruteForceSearch, DeltaDebugSearch, FunctionOracle,
+                     HierarchicalSearch, RandomSearch, ScreenedDeltaDebug,
+                     SearchResult, optimal_frontier)
+
+__all__ = [
+    "PrecisionAssignment", "SearchAtom", "collect_atoms", "BudgetedOracle",
+    "CampaignConfig", "CampaignResult", "CampaignSummary", "run_campaign",
+    "Outcome", "Evaluator", "ProcPerf", "VariantRecord", "choose_n_runs",
+    "l2_over_axis", "median_time", "relative_error", "speedup_eq1",
+    "SearchSpace", "BruteForceSearch", "DeltaDebugSearch", "FunctionOracle",
+    "HierarchicalSearch", "RandomSearch", "ScreenedDeltaDebug",
+    "SearchResult", "optimal_frontier",
+]

@@ -1,0 +1,93 @@
+"""Search atoms: floating-point variable declarations (paper §III-A).
+
+The paper tunes *FP variable declarations* rather than individual uses or
+expressions: it bounds the search space, matches prior art in this
+domain, and keeps variants readable for domain experts.  An atom is one
+declared real entity, identified by its qualified name
+(``module::procedure::variable``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fortran.symbols import ProgramIndex, Symbol
+
+__all__ = ["SearchAtom", "collect_atoms"]
+
+
+@dataclass(frozen=True)
+class SearchAtom:
+    """One tunable declaration."""
+
+    qualified: str          # module::proc::name
+    name: str               # bare variable name
+    scope: str              # owning scope (module or module::proc)
+    declared_kind: int      # kind in the original program (4 or 8)
+    is_array: bool
+    is_argument: bool
+    rank: int
+
+    @property
+    def procedure(self) -> Optional[str]:
+        """Bare procedure name, or None for module-level variables."""
+        if "::" in self.scope:
+            return self.scope.rpartition("::")[2]
+        return None
+
+
+def _atom_from_symbol(sym: Symbol) -> SearchAtom:
+    assert sym.kind is not None
+    return SearchAtom(
+        qualified=sym.qualified,
+        name=sym.name,
+        scope=sym.scope,
+        declared_kind=sym.kind,
+        is_array=sym.is_array,
+        is_argument=sym.is_argument,
+        rank=sym.rank,
+    )
+
+
+def collect_atoms(index: ProgramIndex,
+                  scopes: Optional[set[str]] = None,
+                  include_module_vars: bool = True) -> list[SearchAtom]:
+    """Collect the search atoms of a program.
+
+    Parameters
+    ----------
+    index:
+        Semantic index of the target program.
+    scopes:
+        If given, restrict to these qualified scopes — this is how the
+        paper restricts tuning to a *hotspot* (e.g. every procedure of
+        ``atm_time_integration``).  A module name selects both the module
+        scope and all procedures inside it.
+    include_module_vars:
+        Whether module-level real variables count as atoms.
+
+    Returns a deterministically ordered list (source order within scope,
+    scopes sorted by name) — search reproducibility depends on this.
+    """
+    expanded: Optional[set[str]] = None
+    if scopes is not None:
+        expanded = set()
+        for s in scopes:
+            expanded.add(s)
+            for qual in index.scopes:
+                if qual.startswith(s + "::"):
+                    expanded.add(qual)
+
+    atoms: list[SearchAtom] = []
+    for scope_name in sorted(index.scopes):
+        if expanded is not None and scope_name not in expanded:
+            continue
+        info = index.scopes[scope_name]
+        if not info.is_procedure and not include_module_vars:
+            continue
+        for sym in info.symbols.values():
+            if sym.type_ != "real" or sym.is_parameter:
+                continue
+            atoms.append(_atom_from_symbol(sym))
+    return atoms

@@ -1,0 +1,224 @@
+"""Dynamic variant evaluation (the paper's T2/T3 pipeline stages).
+
+For every precision assignment suggested by the search, the evaluator
+
+1. executes the model under the assignment (precision overlay by
+   default; the source-transformation path is available and equivalence
+   between the two is covered by tests),
+2. prices the execution on the machine model to get hotspot / whole-model
+   CPU seconds,
+3. samples Eq.-1 timing noise and computes median-of-*n* speedup against
+   the 64-bit baseline,
+4. computes the model's correctness error against the baseline
+   observable, and
+5. classifies the outcome (pass / fail / timeout / runtime error).
+
+The simulated wall-clock cost of the evaluation (transform + compile +
+n runs) is also recorded so the campaign driver can enforce the 12-hour
+job budget that terminated the paper's MOM6 search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import (EvaluationError, FortranRuntimeError,
+                      InterpreterLimitError)
+from ..perf.costmodel import CostBreakdown, compute_cost
+from ..perf.machine import DERECHO, MachineModel
+from ..perf.noise import NoiseModel
+from .assignment import PrecisionAssignment
+from .classification import Outcome
+from .metrics import speedup_eq1
+
+__all__ = ["ProcPerf", "VariantRecord", "Evaluator"]
+
+# Hard interpreter cap relative to baseline op count; catches divergent
+# iterative kernels that the wall-clock timeout would kill on Derecho.
+_OP_CAP_FACTOR = 14.0
+
+
+@dataclass(frozen=True)
+class ProcPerf:
+    """Per-procedure performance of one variant (Figure 6 data)."""
+
+    calls: int
+    seconds: float
+
+    @property
+    def seconds_per_call(self) -> float:
+        return self.seconds / self.calls if self.calls else self.seconds
+
+
+@dataclass
+class VariantRecord:
+    """One evaluated point in the design space."""
+
+    variant_id: int
+    kinds: tuple[int, ...]              # over the space's atom order
+    fraction_lowered: float
+    outcome: Outcome
+    error: float = math.inf             # correctness metric (inf if n/a)
+    speedup: Optional[float] = None     # Eq. 1, on the configured scope
+    hotspot_seconds: Optional[float] = None
+    total_seconds: Optional[float] = None
+    convert_seconds: Optional[float] = None
+    wrapped_calls: int = 0
+    proc_perf: dict[str, ProcPerf] = field(default_factory=dict)
+    eval_wall_seconds: float = 0.0      # simulated node time consumed
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.outcome is Outcome.PASS
+
+    def accepted(self, min_speedup: float = 1.0) -> bool:
+        """The search's acceptance test: correct AND faster."""
+        return (self.outcome is Outcome.PASS
+                and self.speedup is not None
+                and self.speedup > min_speedup)
+
+
+class Evaluator:
+    """Evaluates variants of one model against its 64-bit baseline."""
+
+    def __init__(
+        self,
+        model,                       # repro.models.base.ModelCase
+        machine: MachineModel = DERECHO,
+        timeout_factor: float = 3.0,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 2024,
+    ):
+        self.model = model
+        self.machine = machine
+        self.timeout_factor = timeout_factor
+        self.noise = noise if noise is not None else NoiseModel(
+            rsd=model.noise_rsd, base_seed=seed)
+        self.n_runs = model.n_runs
+        self._cache: dict[tuple[int, ...], VariantRecord] = {}
+        self._next_id = 0
+
+        # --- baseline execution -------------------------------------------
+        base = model.run(None)
+        self.baseline_observable = base.observable
+        self.baseline_cost = self._price(base.ledger)
+        self.baseline_total = self.baseline_cost.total_seconds
+        self.baseline_hotspot = self.baseline_cost.seconds_for(
+            model.hotspot_procedures)
+        if self.baseline_total <= 0:
+            raise EvaluationError("baseline produced no measurable work")
+        self.op_cap = int(base.ledger.total_ops * _OP_CAP_FACTOR) + 10_000
+        self.baseline_ledger = base.ledger
+        self.baseline_times = self.noise.sample_times(
+            self._target_seconds(self.baseline_cost), "baseline", self.n_runs)
+
+    # ------------------------------------------------------------------
+
+    def _price(self, ledger) -> CostBreakdown:
+        return compute_cost(
+            ledger, self.machine,
+            inlinable=self.model.vec_info.inlinable,
+            timed_procs=self.model.timed_procedures,
+        )
+
+    def _target_seconds(self, cost: CostBreakdown) -> float:
+        """The quantity Eq. 1 is computed on, per the experiment's scope."""
+        if self.model.perf_scope == "hotspot":
+            return cost.seconds_for(self.model.hotspot_procedures)
+        return cost.total_seconds
+
+    def _eval_wall_seconds(self, relative_runtime: float) -> float:
+        """Simulated node wall time to evaluate one variant: rebuild the
+        model, then run it n times (capped by the timeout)."""
+        runtime = self.model.nominal_runtime_seconds * min(
+            max(relative_runtime, 0.05), self.timeout_factor)
+        return self.model.compile_seconds + self.n_runs * runtime
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: PrecisionAssignment) -> VariantRecord:
+        """Evaluate one variant (cached by assignment identity)."""
+        key = assignment.key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        vid = self._next_id
+        self._next_id += 1
+        record = self._evaluate_uncached(assignment, vid)
+        self._cache[key] = record
+        return record
+
+    def _evaluate_uncached(self, assignment: PrecisionAssignment,
+                           vid: int) -> VariantRecord:
+        frac = assignment.fraction_lowered
+        try:
+            run = self.model.run(assignment, max_ops=self.op_cap)
+        except InterpreterLimitError as exc:
+            return VariantRecord(
+                variant_id=vid, kinds=assignment.key(),
+                fraction_lowered=frac, outcome=Outcome.TIMEOUT,
+                eval_wall_seconds=self._eval_wall_seconds(
+                    self.timeout_factor),
+                note=str(exc),
+            )
+        except FortranRuntimeError as exc:
+            return VariantRecord(
+                variant_id=vid, kinds=assignment.key(),
+                fraction_lowered=frac, outcome=Outcome.RUNTIME_ERROR,
+                eval_wall_seconds=self._eval_wall_seconds(1.0),
+                note=str(exc),
+            )
+
+        cost = self._price(run.ledger)
+        total = cost.total_seconds
+        relative = total / self.baseline_total
+
+        proc_perf = {
+            proc: ProcPerf(calls=cost.proc_calls.get(proc, 0),
+                           seconds=cost.proc_seconds.get(proc, 0.0))
+            for proc in self.model.hotspot_procedures
+        }
+        wrapped = sum(v[1] for v in run.ledger.calls.values())
+
+        if relative > self.timeout_factor:
+            return VariantRecord(
+                variant_id=vid, kinds=assignment.key(),
+                fraction_lowered=frac, outcome=Outcome.TIMEOUT,
+                hotspot_seconds=cost.seconds_for(
+                    self.model.hotspot_procedures),
+                total_seconds=total, convert_seconds=cost.convert_seconds,
+                wrapped_calls=wrapped, proc_perf=proc_perf,
+                eval_wall_seconds=self._eval_wall_seconds(
+                    self.timeout_factor),
+                note=f"runtime {relative:.2f}x baseline",
+            )
+
+        error = self.model.correctness_error(self.baseline_observable,
+                                             run.observable)
+        variant_times = self.noise.sample_times(
+            self._target_seconds(cost), vid, self.n_runs)
+        speedup = speedup_eq1(self.baseline_times, variant_times)
+        outcome = (Outcome.PASS if error <= self.model.error_threshold
+                   else Outcome.FAIL)
+
+        return VariantRecord(
+            variant_id=vid, kinds=assignment.key(), fraction_lowered=frac,
+            outcome=outcome, error=error, speedup=speedup,
+            hotspot_seconds=cost.seconds_for(self.model.hotspot_procedures),
+            total_seconds=total, convert_seconds=cost.convert_seconds,
+            wrapped_calls=wrapped, proc_perf=proc_perf,
+            eval_wall_seconds=self._eval_wall_seconds(relative),
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def evaluated_count(self) -> int:
+        return self._next_id
+
+    def records(self) -> list[VariantRecord]:
+        return sorted(self._cache.values(), key=lambda r: r.variant_id)

@@ -1,0 +1,74 @@
+"""Speedup and error metrics (paper §III-D, §III-E).
+
+Equation (1): ``speedup = median(T_baseline_1..n) / median(T_variant_1..n)``
+— the median over *n* repeated runs removes outliers so the search is
+not derailed by timing noise (a known failure mode where delta debugging
+gets stuck in a local minimum).  *n* is sized from the observed relative
+standard deviation of a 10-member baseline ensemble: 1 for MPAS-A and
+ADCIRC (~1% rsd), 7 for MOM6 (~9% rsd).
+
+Correctness is a relative error ``|(out_base - out_variant)/out_base|``
+computed on a model-specific scalar; the per-model observables live with
+the model cases in :mod:`repro.models`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..perf.noise import NoiseModel
+
+__all__ = [
+    "median_time", "speedup_eq1", "relative_error", "l2_over_axis",
+    "choose_n_runs",
+]
+
+
+def median_time(times: Sequence[float]) -> float:
+    if not times:
+        raise EvaluationError("no timing samples")
+    return float(np.median(np.asarray(times, dtype=np.float64)))
+
+
+def speedup_eq1(baseline_times: Sequence[float],
+                variant_times: Sequence[float]) -> float:
+    """Equation (1).  > 1 means the variant improved."""
+    denom = median_time(variant_times)
+    if denom <= 0.0:
+        raise EvaluationError("non-positive variant time")
+    return median_time(baseline_times) / denom
+
+
+def relative_error(baseline: float, variant: float) -> float:
+    """|(base - variant) / base|, with the conventional guards.
+
+    A NaN in either operand yields +inf (a NaN metric must never pass a
+    threshold check).  A zero baseline falls back to absolute error.
+    """
+    if math.isnan(baseline) or math.isnan(variant):
+        return math.inf
+    if math.isinf(variant) or math.isinf(baseline):
+        return math.inf
+    if baseline == 0.0:
+        return abs(variant)
+    return abs((baseline - variant) / baseline)
+
+
+def l2_over_axis(values: np.ndarray) -> float:
+    """L2 norm used by the per-model criteria (over time or grid)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        return math.inf
+    return float(np.sqrt(np.sum(arr * arr)))
+
+
+def choose_n_runs(noise: NoiseModel, ensemble_size: int = 10,
+                  rsd_cutoff: float = 0.05) -> int:
+    """Size Eq. (1)'s *n* the way the paper did: measure the rsd of a
+    baseline ensemble; quiet targets get n=1, noisy targets get n=7."""
+    rsd = noise.observed_rsd(n_runs=ensemble_size)
+    return 1 if rsd <= rsd_cutoff else 7

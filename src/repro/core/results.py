@@ -1,0 +1,107 @@
+"""Result records and JSON round-tripping.
+
+Campaign outputs are plain dataclasses; this module serializes them so
+benchmark harnesses can persist raw data (the paper's artifact ships raw
+search data from which the figures are regenerated) and reload it for
+plotting/analysis without re-running searches.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from .classification import Outcome
+from .evaluation import ProcPerf, VariantRecord
+from .search.base import SearchResult
+
+__all__ = ["record_to_dict", "record_from_dict", "save_records",
+           "load_records", "search_result_to_dict"]
+
+
+def _num(x: Any) -> Any:
+    """JSON-safe float (inf/nan encoded as strings)."""
+    if isinstance(x, float):
+        if math.isinf(x):
+            return "inf" if x > 0 else "-inf"
+        if math.isnan(x):
+            return "nan"
+    return x
+
+
+def _unnum(x: Any) -> Any:
+    if x == "inf":
+        return math.inf
+    if x == "-inf":
+        return -math.inf
+    if x == "nan":
+        return math.nan
+    return x
+
+
+def record_to_dict(record: VariantRecord) -> dict:
+    return {
+        "variant_id": record.variant_id,
+        "kinds": list(record.kinds),
+        "fraction_lowered": record.fraction_lowered,
+        "outcome": record.outcome.value,
+        "error": _num(record.error),
+        "speedup": record.speedup,
+        "hotspot_seconds": record.hotspot_seconds,
+        "total_seconds": record.total_seconds,
+        "convert_seconds": record.convert_seconds,
+        "wrapped_calls": record.wrapped_calls,
+        "proc_perf": {
+            name: {"calls": p.calls, "seconds": p.seconds}
+            for name, p in record.proc_perf.items()
+        },
+        "eval_wall_seconds": record.eval_wall_seconds,
+        "note": record.note,
+    }
+
+
+def record_from_dict(data: dict) -> VariantRecord:
+    return VariantRecord(
+        variant_id=data["variant_id"],
+        kinds=tuple(data["kinds"]),
+        fraction_lowered=data["fraction_lowered"],
+        outcome=Outcome(data["outcome"]),
+        error=_unnum(data["error"]),
+        speedup=data["speedup"],
+        hotspot_seconds=data["hotspot_seconds"],
+        total_seconds=data["total_seconds"],
+        convert_seconds=data["convert_seconds"],
+        wrapped_calls=data["wrapped_calls"],
+        proc_perf={
+            name: ProcPerf(calls=p["calls"], seconds=p["seconds"])
+            for name, p in data["proc_perf"].items()
+        },
+        eval_wall_seconds=data["eval_wall_seconds"],
+        note=data.get("note", ""),
+    )
+
+
+def save_records(records: list[VariantRecord], path: str | Path) -> None:
+    payload = [record_to_dict(r) for r in records]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_records(path: str | Path) -> list[VariantRecord]:
+    payload = json.loads(Path(path).read_text())
+    return [record_from_dict(d) for d in payload]
+
+
+def search_result_to_dict(result: SearchResult) -> dict:
+    """Summary form (records included) for archival."""
+    return {
+        "algorithm": result.algorithm,
+        "finished": result.finished,
+        "batches": result.batches,
+        "evaluations": result.evaluations,
+        "final_kinds": list(result.final.kinds),
+        "final_fraction_lowered": result.final.fraction_lowered,
+        "best_speedup": result.best_speedup(),
+        "records": [record_to_dict(r) for r in result.records],
+    }

@@ -1,0 +1,112 @@
+"""Shared search infrastructure.
+
+A search talks to the evaluation pipeline through a *batch oracle* — the
+paper's workflow generates a batch of precision assignments (T1), and
+the campaign evaluates the batch with one dedicated node per variant
+(T2/T3), feeding measurements back (T4).  The oracle raises
+:class:`BudgetExhausted` when the simulated 12-hour job budget runs out;
+searches return partial results with ``finished=False`` — exactly the
+fate of the paper's MOM6 search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from ...errors import SearchError
+from ..assignment import PrecisionAssignment
+from ..classification import Outcome
+from ..evaluation import VariantRecord
+
+__all__ = ["BudgetExhausted", "BatchOracle", "SearchResult",
+           "FunctionOracle", "partition"]
+
+
+class BudgetExhausted(Exception):
+    """The evaluation budget ran out mid-search."""
+
+
+class BatchOracle(Protocol):
+    """Evaluates batches of assignments, maintaining evaluation order."""
+
+    def evaluate_batch(
+        self, assignments: list[PrecisionAssignment]
+    ) -> list[VariantRecord]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class FunctionOracle:
+    """Adapter: wrap a single-assignment evaluator as a batch oracle,
+    with an optional cap on total evaluations."""
+
+    fn: Callable[[PrecisionAssignment], VariantRecord]
+    max_evaluations: Optional[int] = None
+    evaluated: int = 0
+
+    def evaluate_batch(self, assignments):
+        out = []
+        for a in assignments:
+            if (self.max_evaluations is not None
+                    and self.evaluated >= self.max_evaluations):
+                raise BudgetExhausted(
+                    f"evaluation cap {self.max_evaluations} reached")
+            out.append(self.fn(a))
+            self.evaluated += 1
+        return out
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search: the chosen variant plus the full trace."""
+
+    final: PrecisionAssignment
+    final_record: Optional[VariantRecord]
+    records: list[VariantRecord] = field(default_factory=list)
+    finished: bool = True
+    batches: int = 0
+    algorithm: str = ""
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.records)
+
+    def best_accepted(self,
+                      min_speedup: float = 1.0) -> Optional[VariantRecord]:
+        """Fastest record that passed correctness and beat baseline."""
+        accepted = [r for r in self.records if r.accepted(min_speedup)]
+        if not accepted:
+            return None
+        return max(accepted, key=lambda r: r.speedup or 0.0)
+
+    def best_speedup(self) -> float:
+        """Best speedup among correctness-passing variants (Table II)."""
+        passing = [r.speedup for r in self.records
+                   if r.outcome is Outcome.PASS and r.speedup is not None]
+        return max(passing, default=0.0)
+
+    def outcome_fractions(self) -> dict[Outcome, float]:
+        if not self.records:
+            return {o: 0.0 for o in Outcome}
+        n = len(self.records)
+        return {
+            o: sum(1 for r in self.records if r.outcome is o) / n
+            for o in Outcome
+        }
+
+
+def partition(items: list, n: int) -> list[list]:
+    """Split *items* into *n* near-equal contiguous chunks (ddmin's
+    granularity step).  Chunks are never empty."""
+    if n <= 0:
+        raise SearchError("partition count must be positive")
+    n = min(n, len(items))
+    size, rem = divmod(len(items), n)
+    chunks = []
+    start = 0
+    for i in range(n):
+        extent = size + (1 if i < rem else 0)
+        chunks.append(items[start:start + extent])
+        start += extent
+    return [c for c in chunks if c]

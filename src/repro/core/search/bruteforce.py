@@ -1,0 +1,80 @@
+"""Exhaustive search (paper §II-B, the funarc motivating example).
+
+Feasible only for tiny programs: funarc's 8 atoms at 2 levels give 256
+variants.  Produces the complete speedup–error scatter of Figure 2 and
+the exact optimal frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import SearchError
+from ..classification import Outcome
+from ..evaluation import VariantRecord
+from ..searchspace import SearchSpace
+from .base import BatchOracle, BudgetExhausted, SearchResult
+
+__all__ = ["BruteForceSearch", "optimal_frontier"]
+
+
+def optimal_frontier(records: list[VariantRecord]) -> list[VariantRecord]:
+    """Pareto frontier: maximize speedup, minimize error.
+
+    Only completed variants participate.  Returned sorted by error
+    ascending; each successive point has strictly higher speedup than any
+    lower-error point.
+    """
+    done = [r for r in records
+            if r.outcome in (Outcome.PASS, Outcome.FAIL)
+            and r.speedup is not None]
+    done.sort(key=lambda r: (r.error, -(r.speedup or 0.0)))
+    frontier: list[VariantRecord] = []
+    best = 0.0
+    for r in done:
+        if (r.speedup or 0.0) > best:
+            frontier.append(r)
+            best = r.speedup or 0.0
+    return frontier
+
+
+@dataclass
+class BruteForceSearch:
+    """Enumerate the whole design space."""
+
+    max_variants: int = 4096
+    min_speedup: float = 1.0
+
+    def run(self, space: SearchSpace, oracle: BatchOracle) -> SearchResult:
+        if space.size > self.max_variants:
+            raise SearchError(
+                f"brute force over {space.size} variants exceeds cap "
+                f"{self.max_variants}"
+            )
+        records: list[VariantRecord] = []
+        finished = True
+        batches = 0
+        batch: list = []
+        try:
+            for assignment in space.enumerate(limit=self.max_variants):
+                batch.append(assignment)
+                if len(batch) >= 32:
+                    records.extend(oracle.evaluate_batch(batch))
+                    batches += 1
+                    batch = []
+            if batch:
+                records.extend(oracle.evaluate_batch(batch))
+                batches += 1
+        except BudgetExhausted:
+            finished = False
+
+        best = None
+        best_assignment = space.baseline()
+        for assignment, record in zip(space.enumerate(), records):
+            if record.accepted(self.min_speedup):
+                if best is None or (record.speedup or 0) > (best.speedup or 0):
+                    best = record
+                    best_assignment = assignment
+        return SearchResult(final=best_assignment, final_record=best,
+                            records=records, finished=finished,
+                            batches=batches, algorithm="brute-force")

@@ -1,0 +1,127 @@
+"""Delta-debugging precision search (paper §III-B).
+
+The canonical FPPT search, introduced by Precimonious [2] as an
+adaptation of Zeller & Hildebrandt's ddmin [33]: starting from the
+uniform 64-bit program, repeatedly try to *lower* subsets of the
+still-64-bit variables; accept a variant when it satisfies the
+correctness threshold **and** outperforms the baseline; refine the
+partition granularity when no subset works.  Average-case complexity is
+O(n log n), worst case O(n^2).
+
+The result is **1-minimal**: a variant for which lowering any single
+remaining 64-bit variable violates the correctness or performance
+criteria — the paper's termination condition.
+
+Batches: at each granularity level, all candidate subsets (and, at
+granularity > 2, their complements) are emitted as one batch, mirroring
+the artifact's T1→T4 cycle where a batch of assignments is transformed,
+compiled and run on dedicated nodes in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..assignment import PrecisionAssignment
+from ..evaluation import VariantRecord
+from ..searchspace import SearchSpace
+from .base import BatchOracle, BudgetExhausted, SearchResult, partition
+
+__all__ = ["DeltaDebugSearch"]
+
+
+@dataclass
+class DeltaDebugSearch:
+    """Configurable delta-debugging search."""
+
+    min_speedup: float = 1.0
+    #: Try the uniform-32 variant first (Precimonious does; it is also the
+    #: vendor-supported configuration for MPAS-A).
+    try_uniform_first: bool = True
+
+    def run(self, space: SearchSpace, oracle: BatchOracle) -> SearchResult:
+        records: list[VariantRecord] = []
+        batches = 0
+
+        def evaluate(assignments: list[PrecisionAssignment]
+                     ) -> list[VariantRecord]:
+            nonlocal batches
+            batches += 1
+            results = oracle.evaluate_batch(assignments)
+            records.extend(results)
+            return results
+
+        accepted = space.baseline()
+        accepted_record: Optional[VariantRecord] = None
+        # Candidates: atoms currently at 64-bit that we may still lower.
+        delta = [a.qualified for a in accepted.atoms
+                 if accepted.kind_of(a.qualified) == 8]
+
+        try:
+            if self.try_uniform_first and delta:
+                candidate = accepted.lower_all(delta)
+                (rec,) = evaluate([candidate])
+                if rec.accepted(self.min_speedup):
+                    # Everything can be lowered: trivially 1-minimal... but
+                    # confirm minimality by the normal loop over an empty
+                    # delta (nothing left at 64-bit).
+                    return SearchResult(final=candidate, final_record=rec,
+                                        records=records, finished=True,
+                                        batches=batches,
+                                        algorithm="delta-debug")
+
+            div = 2
+            while delta:
+                div = min(div, len(delta))
+                subsets = partition(delta, div)
+
+                # --- batch 1: lower each subset ---------------------------
+                candidates = [accepted.lower_all(s) for s in subsets]
+                results = evaluate(candidates)
+                hit = next(
+                    (i for i, r in enumerate(results)
+                     if r.accepted(self.min_speedup)), None)
+                if hit is not None:
+                    accepted = candidates[hit]
+                    accepted_record = results[hit]
+                    lowered = set(subsets[hit])
+                    delta = [q for q in delta if q not in lowered]
+                    div = max(div - 1, 2)
+                    continue
+
+                # --- batch 2: lower each complement ------------------------
+                if div > 2:
+                    complements = [
+                        [q for q in delta if q not in set(s)]
+                        for s in subsets
+                    ]
+                    candidates = [accepted.lower_all(c)
+                                  for c in complements if c]
+                    kept_subsets = [s for s, c in zip(subsets, complements)
+                                    if c]
+                    results = evaluate(candidates)
+                    hit = next(
+                        (i for i, r in enumerate(results)
+                         if r.accepted(self.min_speedup)), None)
+                    if hit is not None:
+                        accepted = candidates[hit]
+                        accepted_record = results[hit]
+                        delta = list(kept_subsets[hit])
+                        div = 2
+                        continue
+
+                # --- refine granularity -----------------------------------
+                if div < len(delta):
+                    div = min(len(delta), 2 * div)
+                    continue
+                break  # singletons all fail: accepted is 1-minimal
+
+        except BudgetExhausted:
+            return SearchResult(final=accepted, final_record=accepted_record,
+                                records=records, finished=False,
+                                batches=batches, algorithm="delta-debug")
+
+        return SearchResult(final=accepted, final_record=accepted_record,
+                            records=records, finished=True, batches=batches,
+                            algorithm="delta-debug")

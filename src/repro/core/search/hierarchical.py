@@ -1,0 +1,127 @@
+"""Hierarchical (community-structured) delta debugging.
+
+An extension in the spirit of HiFPTuner [6], which the paper cites as
+related work: variables that flow together tend to need the same
+precision, so search first over *groups* (here: one group per procedure,
+the natural community structure of a hotspot) and then refine within the
+surviving 64-bit groups with ordinary delta debugging.  Ablation
+benchmarks compare its evaluation count against flat delta debugging.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..evaluation import VariantRecord
+from ..searchspace import SearchSpace
+from .base import BatchOracle, BudgetExhausted, SearchResult, partition
+
+__all__ = ["HierarchicalSearch"]
+
+
+@dataclass
+class HierarchicalSearch:
+    min_speedup: float = 1.0
+
+    def run(self, space: SearchSpace, oracle: BatchOracle) -> SearchResult:
+        records: list[VariantRecord] = []
+        batches = 0
+
+        def evaluate(assignments):
+            nonlocal batches
+            batches += 1
+            results = oracle.evaluate_batch(assignments)
+            records.extend(results)
+            return results
+
+        # --- stage 1: group-level delta debugging -------------------------
+        groups: dict[str, list[str]] = defaultdict(list)
+        for atom in space.atoms:
+            groups[atom.scope].append(atom.qualified)
+        group_names = sorted(groups)
+
+        accepted = space.baseline()
+        accepted_record: Optional[VariantRecord] = None
+        delta_groups = [g for g in group_names
+                        if any(accepted.kind_of(q) == 8 for q in groups[g])]
+
+        try:
+            # Like the flat search, first try lowering every group at once
+            # (the uniform-32 configuration).
+            if delta_groups:
+                names = [q for g in delta_groups for q in groups[g]]
+                candidate = accepted.lower_all(names)
+                (rec,) = evaluate([candidate])
+                if rec.accepted(self.min_speedup):
+                    return SearchResult(final=candidate, final_record=rec,
+                                        records=records, finished=True,
+                                        batches=batches,
+                                        algorithm="hierarchical")
+
+            div = min(2, max(1, len(delta_groups)))
+            while delta_groups:
+                div = min(div, len(delta_groups))
+                subsets = partition(delta_groups, div)
+                candidates = []
+                for s in subsets:
+                    names = [q for g in s for q in groups[g]]
+                    candidates.append(accepted.lower_all(names))
+                results = evaluate(candidates)
+                hit = next((i for i, r in enumerate(results)
+                            if r.accepted(self.min_speedup)), None)
+                if hit is not None:
+                    accepted = candidates[hit]
+                    accepted_record = results[hit]
+                    chosen = set(subsets[hit])
+                    delta_groups = [g for g in delta_groups
+                                    if g not in chosen]
+                    div = max(div - 1, 2)
+                    continue
+                if div < len(delta_groups):
+                    div = min(len(delta_groups), 2 * div)
+                    continue
+                break
+
+            # --- stage 2: flat refinement within remaining 64-bit atoms ----
+            from .deltadebug import DeltaDebugSearch
+
+            remaining = [q for q in accepted.high()]
+            if remaining:
+                sub_space = space.restricted(set(remaining))
+
+                class _Shim:
+                    """Bridge oracle: complete sub-assignments with the
+                    already-accepted kinds for atoms outside the subset."""
+
+                    def __init__(self, outer, accepted_assignment):
+                        self.outer = outer
+                        self.accepted = accepted_assignment
+
+                    def evaluate_batch(self, sub_assignments):
+                        full = []
+                        for sub in sub_assignments:
+                            changes = {a.qualified: k for a, k in sub}
+                            full.append(self.accepted.with_kinds(changes))
+                        return self.outer.evaluate_batch(full)
+
+                shim = _Shim(oracle, accepted)
+                inner = DeltaDebugSearch(min_speedup=self.min_speedup,
+                                         try_uniform_first=False)
+                sub_result = inner.run(sub_space, shim)
+                records.extend(sub_result.records)
+                batches += sub_result.batches
+                if sub_result.final_record is not None:
+                    changes = {a.qualified: k for a, k in sub_result.final}
+                    accepted = accepted.with_kinds(changes)
+                    accepted_record = sub_result.final_record
+
+        except BudgetExhausted:
+            return SearchResult(final=accepted, final_record=accepted_record,
+                                records=records, finished=False,
+                                batches=batches, algorithm="hierarchical")
+
+        return SearchResult(final=accepted, final_record=accepted_record,
+                            records=records, finished=True, batches=batches,
+                            algorithm="hierarchical")

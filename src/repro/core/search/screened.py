@@ -1,0 +1,141 @@
+"""Delta debugging with static variant screening (paper Section V).
+
+The Lessons Learned propose "minimizing overhead of variant evaluation
+during FPPT": before paying transform+compile+run for a candidate,
+consult the static analyses —
+
+* filter out variants that would have *less vectorization than the
+  baseline* (compiler-report feedback), and
+* filter out variants whose mixed-precision interprocedural data flow
+  exceeds a casting-penalty budget (the DAG cost model).
+
+This search wraps :class:`~repro.core.search.deltadebug.DeltaDebugSearch`
+with that filter.  Screened-out candidates are *counted as rejections
+without dynamic evaluation*: the delta-debugging recursion treats them
+exactly like failed variants (which is what the screen predicts), so the
+search stays 1-minimal with respect to the combined static+dynamic
+acceptance test while spending dynamic evaluations only on plausible
+variants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...analysis.screening import StaticScreen
+from ..assignment import PrecisionAssignment
+from ..classification import Outcome
+from ..evaluation import VariantRecord
+from ..searchspace import SearchSpace
+from .base import BatchOracle, SearchResult
+from .deltadebug import DeltaDebugSearch
+
+__all__ = ["ScreenedDeltaDebug", "ScreenedSearchResult"]
+
+
+@dataclass
+class ScreenedSearchResult(SearchResult):
+    """Search result plus screening statistics."""
+
+    screened_out: int = 0
+    dynamic_evaluations: int = 0
+
+    @property
+    def dynamic_savings(self) -> float:
+        """Fraction of candidate evaluations avoided by the screen."""
+        total = self.screened_out + self.dynamic_evaluations
+        return self.screened_out / total if total else 0.0
+
+
+class _ScreeningOracle:
+    """Oracle decorator: statically reject before dynamically evaluating.
+
+    Rejected candidates produce synthetic FAIL-shaped records (speedup
+    None, infinite error) so the search recursion proceeds as if the
+    variant had been measured and found wanting — at zero dynamic cost.
+    """
+
+    def __init__(self, inner: BatchOracle, screen: StaticScreen):
+        self.inner = inner
+        self.screen = screen
+        self.screened_out = 0
+        self.dynamic = 0
+        self._next_synthetic_id = -1
+
+    def evaluate_batch(self, assignments: list[PrecisionAssignment]
+                       ) -> list[VariantRecord]:
+        verdicts = [self.screen.filter_batch([a])[1][0]
+                    for a in assignments]
+        to_run = [a for a, v in zip(assignments, verdicts) if v.accepted]
+        ran = iter(self.inner.evaluate_batch(to_run)) if to_run else iter(())
+        self.dynamic += len(to_run)
+
+        out: list[VariantRecord] = []
+        for assignment, verdict in zip(assignments, verdicts):
+            if verdict.accepted:
+                out.append(next(ran))
+                continue
+            self.screened_out += 1
+            out.append(VariantRecord(
+                variant_id=self._next_synthetic_id,
+                kinds=assignment.key(),
+                fraction_lowered=assignment.fraction_lowered,
+                outcome=Outcome.FAIL,
+                error=math.inf,
+                speedup=None,
+                note="statically screened: " + "; ".join(verdict.reasons),
+            ))
+            self._next_synthetic_id -= 1
+        return out
+
+
+@dataclass
+class ScreenedDeltaDebug:
+    """Delta debugging behind a static screen."""
+
+    screen: StaticScreen = None  # type: ignore[assignment]
+    min_speedup: float = 1.0
+    try_uniform_first: bool = True
+
+    @classmethod
+    def for_model(cls, model, penalty_budget: float = 200.0,
+                  max_lost_loops: int = 0,
+                  min_speedup: float = 1.0) -> "ScreenedDeltaDebug":
+        """Build the screen from a model case's own analyses.
+
+        The penalty only counts hotspot-internal mismatches (a
+        hotspot-guided search does not observe inbound casting; §IV-C),
+        so a tight default budget is appropriate.
+        """
+        from ...fortran.callgraph import build_graphs
+
+        screen = StaticScreen(
+            index=model.index, vec_info=model.vec_info,
+            graphs=build_graphs(model.index),
+            penalty_budget=penalty_budget,
+            max_lost_loops=max_lost_loops,
+            caller_scopes=set(model.hotspot_scopes),
+        )
+        return cls(screen=screen, min_speedup=min_speedup)
+
+    def run(self, space: SearchSpace,
+            oracle: BatchOracle) -> ScreenedSearchResult:
+        if self.screen is None:
+            raise ValueError("ScreenedDeltaDebug needs a StaticScreen "
+                             "(use for_model())")
+        wrapped = _ScreeningOracle(oracle, self.screen)
+        inner = DeltaDebugSearch(min_speedup=self.min_speedup,
+                                 try_uniform_first=self.try_uniform_first)
+        result = inner.run(space, wrapped)
+        return ScreenedSearchResult(
+            final=result.final,
+            final_record=result.final_record,
+            records=result.records,
+            finished=result.finished,
+            batches=result.batches,
+            algorithm="screened-delta-debug",
+            screened_out=wrapped.screened_out,
+            dynamic_evaluations=wrapped.dynamic,
+        )

@@ -1,0 +1,87 @@
+"""The mixed-precision design space (paper §III-A).
+
+With *n* atoms and *p* precision levels the space holds :math:`p^n`
+variants; this study fixes :math:`p = 2` (only 64→32 lowering can pay
+off on current supercomputer CPUs).  The space object owns the atom
+ordering, provides exhaustive enumeration for small programs (funarc's
+:math:`2^8 = 256` variants, Figure 2), and manufactures the canonical
+starting points.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Optional
+
+from ..errors import SearchError
+from ..fortran.symbols import KIND_DOUBLE, KIND_SINGLE
+from .assignment import PrecisionAssignment
+from .atoms import SearchAtom
+
+__all__ = ["SearchSpace"]
+
+
+class SearchSpace:
+    """All precision assignments over a fixed atom set."""
+
+    def __init__(self, atoms: list[SearchAtom],
+                 levels: tuple[int, ...] = (KIND_SINGLE, KIND_DOUBLE)):
+        if not atoms:
+            raise SearchError("search space needs at least one atom")
+        names = [a.qualified for a in atoms]
+        if len(set(names)) != len(names):
+            raise SearchError("duplicate atoms in search space")
+        self.atoms: tuple[SearchAtom, ...] = tuple(atoms)
+        self.levels = levels
+
+    # -- inventory ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def size(self) -> int:
+        """Number of variants: p**n."""
+        return len(self.levels) ** len(self.atoms)
+
+    def atom(self, qualified: str) -> SearchAtom:
+        for a in self.atoms:
+            if a.qualified == qualified:
+                return a
+        raise SearchError(f"{qualified!r} is not in the search space")
+
+    def atom_names(self) -> list[str]:
+        return [a.qualified for a in self.atoms]
+
+    # -- canonical points -----------------------------------------------------
+
+    def baseline(self) -> PrecisionAssignment:
+        return PrecisionAssignment.baseline(self.atoms)
+
+    def uniform(self, kind: int) -> PrecisionAssignment:
+        return PrecisionAssignment.uniform(self.atoms, kind)
+
+    def all_single(self) -> PrecisionAssignment:
+        return self.uniform(KIND_SINGLE)
+
+    def all_double(self) -> PrecisionAssignment:
+        return self.uniform(KIND_DOUBLE)
+
+    # -- enumeration --------------------------------------------------------------
+
+    def enumerate(self, limit: Optional[int] = None) -> Iterator[PrecisionAssignment]:
+        """Yield every variant (brute force).  Guarded by *limit* so a
+        misdirected call on a model-sized space fails fast instead of
+        iterating 2**445 assignments."""
+        if limit is not None and self.size > limit:
+            raise SearchError(
+                f"search space has {self.size} variants (> limit {limit}); "
+                "brute force is infeasible — use a guided search"
+            )
+        for kinds in product(self.levels, repeat=len(self.atoms)):
+            yield PrecisionAssignment(atoms=self.atoms, kinds=kinds)
+
+    def restricted(self, qualified_names: set[str]) -> "SearchSpace":
+        """Sub-space over a subset of atoms (e.g. one procedure)."""
+        subset = [a for a in self.atoms if a.qualified in qualified_names]
+        return SearchSpace(subset, self.levels)

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking genuine Python bugs.  The split
+between *static* errors (lexing, parsing, semantic analysis,
+transformation) and *dynamic* errors (interpretation of a variant) matters
+to the tuning harness: dynamic errors are a normal, expected outcome of
+evaluating an aggressive mixed-precision variant and are classified as
+``RUNTIME_ERROR`` rather than propagated.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Static (front-end / transformation) errors
+# ---------------------------------------------------------------------------
+
+
+class SourceError(ReproError):
+    """A problem attributable to a location in Fortran source code."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        where = ""
+        if line is not None:
+            where = f" at line {line}" + (f", col {col}" if col is not None else "")
+        super().__init__(message + where)
+
+
+class LexError(SourceError):
+    """The lexer encountered a character sequence it cannot tokenize."""
+
+
+class ParseError(SourceError):
+    """The parser encountered an unexpected token or construct."""
+
+
+class SemanticError(SourceError):
+    """Name resolution or type checking failed."""
+
+
+class TransformError(ReproError):
+    """A precision assignment could not be applied to the program."""
+
+
+# ---------------------------------------------------------------------------
+# Dynamic (interpretation) errors — expected outcomes during tuning
+# ---------------------------------------------------------------------------
+
+
+class FortranRuntimeError(ReproError):
+    """Base class for errors raised while interpreting a program variant."""
+
+
+class FortranStopError(FortranRuntimeError):
+    """An ``error stop`` (or ``stop`` with nonzero code) statement executed.
+
+    Weather-model miniatures use ``error stop`` for positivity and
+    convergence guards; in low precision these guards fire and the variant
+    is classified as a runtime error, mirroring the paper's MOM6 results.
+    """
+
+    def __init__(self, message: str = "", code: int = 1):
+        self.code = code
+        super().__init__(message or f"ERROR STOP {code}")
+
+
+class FloatingPointException(FortranRuntimeError):
+    """A NaN or infinity was produced where the program forbids it."""
+
+
+class NonConvergenceError(FortranRuntimeError):
+    """An iterative kernel exceeded its iteration cap without converging."""
+
+
+class InterpreterLimitError(FortranRuntimeError):
+    """The interpreter hit a configured resource cap (ops or statements).
+
+    This is the interpreter-level analogue of the paper's per-variant
+    timeout of 3x the baseline runtime.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Harness errors
+# ---------------------------------------------------------------------------
+
+
+class EvaluationError(ReproError):
+    """The evaluation pipeline itself (not the variant) misbehaved."""
+
+
+class SearchError(ReproError):
+    """A search algorithm was misconfigured or reached an invalid state."""
+
+
+class CampaignError(ReproError):
+    """The campaign orchestrator was misconfigured."""

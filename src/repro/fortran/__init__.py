@@ -1,0 +1,33 @@
+"""Fortran front end, transformation tool, and instrumented interpreter.
+
+This package is the reproduction of the paper's bespoke Fortran tooling
+(Section III-C) plus the execution substrate that replaces native
+compilation:
+
+* parsing / semantic analysis: :func:`parse_source`, :func:`analyze`
+* source-to-source precision transformation: :func:`transform_program`
+  (retyping + Figure-4 wrapper generation), :func:`reduce_program` /
+  :func:`reinsert` (taint-based program reduction)
+* execution: :class:`Interpreter` with a precision ``overlay`` and an
+  operation :class:`Ledger` consumed by :mod:`repro.perf`
+"""
+
+from .ast_nodes import SourceFile
+from .instrumentation import Ledger, OpKey
+from .interpreter import Interpreter, OutBox, make_array
+from .parser import parse_source
+from .symbols import KIND_DOUBLE, KIND_SINGLE, ProgramIndex, Symbol, analyze
+from .taint import ReducedProgram, reduce_program, reinsert
+from .transform import TransformResult, apply_assignment, transform_program
+from .unparser import unparse
+from .values import FArray
+from .vectorize import ProgramVecInfo, analyze_program
+from .wrappers import generate_wrappers
+
+__all__ = [
+    "SourceFile", "Ledger", "OpKey", "Interpreter", "OutBox", "make_array",
+    "parse_source", "KIND_DOUBLE", "KIND_SINGLE", "ProgramIndex", "Symbol",
+    "analyze", "ReducedProgram", "reduce_program", "reinsert",
+    "TransformResult", "apply_assignment", "transform_program", "unparse",
+    "FArray", "ProgramVecInfo", "analyze_program", "generate_wrappers",
+]

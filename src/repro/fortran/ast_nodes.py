@@ -1,0 +1,440 @@
+"""AST node classes for the supported Fortran subset.
+
+All nodes are mutable dataclasses carrying a ``line`` attribute for
+diagnostics.  The tree is deliberately close to source syntax — this
+package performs *source-to-source* transformation, so round-tripping
+through :mod:`repro.fortran.unparser` must preserve program meaning.
+
+Grammar coverage (free form):
+
+* program units: ``module`` (with ``contains``), ``subroutine``,
+  ``function`` (with ``result`` clause), ``program``;
+* specification: ``use`` (with ``only``), ``implicit none``, type
+  declarations for ``real``/``integer``/``logical``/``character`` with
+  ``kind=``, ``parameter``, ``intent``, ``dimension``, ``save``,
+  ``allocatable``, ``optional`` attributes; derived ``type`` definitions
+  and ``type(name)`` declarations;
+* execution: assignment, ``call``, ``if``/``else if``/``else``, block
+  ``do`` (counted and ``do while``), ``select case`` (values, ranges,
+  default), ``where``/``elsewhere`` masked assignment, ``exit``,
+  ``cycle``, ``return``, ``stop`` / ``error stop``, ``print *``,
+  ``allocate``/``deallocate``;
+* expressions: full operator precedence, array element/section refs,
+  function references, derived-type component access (``%``), array
+  constructors ``(/ ... /)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    "IntLit", "RealLit", "LogicalLit", "StringLit",
+    "Name", "BinOp", "UnaryOp", "Apply", "RangeExpr", "ArrayCons",
+    "ComponentRef", "KeywordArg",
+    "EntityDecl", "ArrayDim", "TypeSpec", "TypeDecl", "TypeDef",
+    "UseStmt", "ImplicitNone",
+    "Assignment", "PointerAssignment", "CallStmt", "IfBlock", "IfArm",
+    "SelectCase", "CaseBlock", "CaseSelector", "WhereConstruct", "WhereArm",
+    "DoLoop", "DoWhile", "ExitStmt", "CycleStmt", "ReturnStmt",
+    "StopStmt", "PrintStmt", "AllocateStmt", "DeallocateStmt",
+    "Subroutine", "Function", "Module", "MainProgram", "SourceFile",
+    "walk", "walk_expressions",
+]
+
+
+@dataclass
+class Node:
+    """Base class; ``line`` is the 1-based source line of the construct."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for specification and executable statements."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    kind: Optional[int] = None  # explicit kind suffix if present
+
+
+@dataclass
+class RealLit(Expr):
+    text: str = "0.0"          # original literal spelling (sans kind suffix)
+    kind: int = 4              # 8 for d-exponent or _8 suffix, else 4
+
+    @property
+    def value(self) -> float:
+        return float(self.text.lower().replace("d", "e"))
+
+
+@dataclass
+class LogicalLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier reference (variable, named constant, or function
+    name in contexts where it appears without an argument list)."""
+
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = "+"
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = "-"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class RangeExpr(Expr):
+    """Subscript triplet ``lo:hi:step`` inside an array reference."""
+
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+    step: Optional[Expr] = None
+
+
+@dataclass
+class KeywordArg(Expr):
+    """``name = value`` actual argument (e.g. ``real(x, kind=8)``)."""
+
+    name: str = ""
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Apply(Expr):
+    """``name(args...)`` — an array element/section reference or a function
+    reference; disambiguated by symbol lookup in later phases."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ComponentRef(Expr):
+    """Derived-type component access: ``base % comp`` where *base* may be a
+    :class:`Name` or :class:`Apply` (array of derived type)."""
+
+    base: Expr = None  # type: ignore[assignment]
+    component: str = ""
+    # Optional subscript applied to the component itself: ``a%b(i)``.
+    args: Optional[list[Expr]] = None
+
+
+@dataclass
+class ArrayCons(Expr):
+    items: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Specification constructs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ArrayDim(Node):
+    """One dimension of an array spec.
+
+    ``lower``/``upper`` are expressions; ``assumed`` marks ``:`` (assumed
+    shape) and ``deferred`` marks ``*`` (assumed size, treated like
+    assumed shape by the interpreter).
+    """
+
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+    assumed: bool = False
+    deferred: bool = False
+
+
+@dataclass
+class TypeSpec(Node):
+    """A type-spec: base type plus optional kind (an expression so that
+    ``kind=r8`` named constants survive round-tripping)."""
+
+    base: str = "real"  # real | integer | logical | character | type
+    kind: Optional[Expr] = None
+    # For base == "type": the derived type name.
+    derived_name: Optional[str] = None
+    # For character: length spec (expression or None for len=1, "*" ok).
+    char_len: Optional[Expr] = None
+
+
+@dataclass
+class EntityDecl(Node):
+    name: str = ""
+    dims: Optional[list[ArrayDim]] = None  # entity-specific dimension spec
+    init: Optional[Expr] = None
+
+
+@dataclass
+class TypeDecl(Stmt):
+    """A full declaration statement: ``real(kind=8), intent(in) :: a, b(n)``."""
+
+    spec: TypeSpec = None  # type: ignore[assignment]
+    attrs: list[str] = field(default_factory=list)  # e.g. ["parameter", "save"]
+    intent: Optional[str] = None  # in | out | inout
+    dims: Optional[list[ArrayDim]] = None  # from a dimension(...) attribute
+    entities: list[EntityDecl] = field(default_factory=list)
+
+
+@dataclass
+class TypeDef(Stmt):
+    """A derived-type definition block."""
+
+    name: str = ""
+    components: list[TypeDecl] = field(default_factory=list)
+
+
+@dataclass
+class UseStmt(Stmt):
+    module: str = ""
+    only: Optional[list[tuple[str, str]]] = None  # (local_name, use_name)
+
+
+@dataclass
+class ImplicitNone(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Executable statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assignment(Stmt):
+    target: Expr = None  # Name | Apply | ComponentRef  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class PointerAssignment(Stmt):
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallStmt(Stmt):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IfArm(Node):
+    cond: Optional[Expr] = None  # None for the else arm
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfBlock(Stmt):
+    arms: list[IfArm] = field(default_factory=list)
+
+
+@dataclass
+class CaseSelector(Node):
+    """One case-value: a single expression or an inclusive range."""
+
+    value: Optional[Expr] = None
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+
+    @property
+    def is_range(self) -> bool:
+        return self.value is None
+
+
+@dataclass
+class CaseBlock(Node):
+    selectors: Optional[list[CaseSelector]] = None  # None = case default
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SelectCase(Stmt):
+    selector: Expr = None  # type: ignore[assignment]
+    cases: list[CaseBlock] = field(default_factory=list)
+
+
+@dataclass
+class WhereArm(Node):
+    mask: Optional[Expr] = None   # None = elsewhere
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhereConstruct(Stmt):
+    arms: list[WhereArm] = field(default_factory=list)
+
+
+@dataclass
+class DoLoop(Stmt):
+    var: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExitStmt(Stmt):
+    pass
+
+
+@dataclass
+class CycleStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    pass
+
+
+@dataclass
+class StopStmt(Stmt):
+    code: Optional[Expr] = None
+    is_error: bool = False
+    message: Optional[str] = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AllocateStmt(Stmt):
+    items: list[Apply] = field(default_factory=list)
+
+
+@dataclass
+class DeallocateStmt(Stmt):
+    names: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Program units
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProcedureUnit(Node):
+    name: str = ""
+    args: list[str] = field(default_factory=list)
+    decls: list[Stmt] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    contains: list["ProcedureUnit"] = field(default_factory=list)
+
+
+@dataclass
+class Subroutine(ProcedureUnit):
+    pass
+
+
+@dataclass
+class Function(ProcedureUnit):
+    result_name: Optional[str] = None
+    # Optional prefix type-spec: ``real(kind=8) function f(x)``.
+    prefix_spec: Optional[TypeSpec] = None
+
+    @property
+    def result(self) -> str:
+        return self.result_name or self.name
+
+
+@dataclass
+class Module(Node):
+    name: str = ""
+    decls: list[Stmt] = field(default_factory=list)
+    procedures: list[ProcedureUnit] = field(default_factory=list)
+
+
+@dataclass
+class MainProgram(ProcedureUnit):
+    pass
+
+
+@dataclass
+class SourceFile(Node):
+    units: list[Node] = field(default_factory=list)  # Module | procedures | MainProgram
+
+
+# ---------------------------------------------------------------------------
+# Tree traversal helpers
+# ---------------------------------------------------------------------------
+
+_CHILD_FIELDS_CACHE: dict[type, tuple[str, ...]] = {}
+
+
+def _child_fields(node: Node) -> tuple[str, ...]:
+    cls = type(node)
+    cached = _CHILD_FIELDS_CACHE.get(cls)
+    if cached is None:
+        cached = tuple(
+            f for f in cls.__dataclass_fields__ if f not in ("line",)
+        )
+        _CHILD_FIELDS_CACHE[cls] = cached
+    return cached
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield *node* and all descendant nodes, depth first."""
+    stack: list[Node] = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for fname in _child_fields(cur):
+            val = getattr(cur, fname, None)
+            if isinstance(val, Node):
+                stack.append(val)
+            elif isinstance(val, list):
+                for item in val:
+                    if isinstance(item, Node):
+                        stack.append(item)
+                    elif isinstance(item, tuple):
+                        for sub in item:
+                            if isinstance(sub, Node):
+                                stack.append(sub)
+
+
+def walk_expressions(node: Node) -> Iterator[Expr]:
+    """Yield every :class:`Expr` at or below *node*."""
+    for n in walk(node):
+        if isinstance(n, Expr):
+            yield n

@@ -1,0 +1,174 @@
+"""Static kind inference for expressions.
+
+Several tools need to know the real kind an expression evaluates to
+*without* running the program: the wrapper generator (does this call site
+need a Fig.-4 wrapper?), the precision-flow graph, and the static variant
+screening cost model from the paper's Lessons Learned.  The rules mirror
+the interpreter's dynamic promotion exactly; an equivalence test pins the
+two together.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as F
+from .intrinsics import INTRINSICS
+from .symbols import KIND_DOUBLE, KIND_SINGLE, ProgramIndex
+
+__all__ = ["infer_kind", "expr_root_variable"]
+
+# Intrinsics whose result kind follows the first real argument.
+_KIND_PRESERVING = {
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh",
+    "tanh", "exp", "log", "log10", "sqrt", "abs", "sign", "mod", "merge",
+    "sum", "product", "maxval", "minval", "epsilon", "huge", "tiny",
+}
+_KIND_PROMOTING = {"min", "max", "dot_product"}
+_INTEGER_RESULT = {"int", "nint", "floor", "ceiling", "size", "lbound",
+                   "ubound", "maxloc"}
+_LOGICAL_RESULT = {"ieee_is_nan", "ieee_is_finite"}
+
+
+def infer_kind(expr: F.Expr, index: ProgramIndex, scope: str,
+               overlay: Optional[dict[str, int]] = None) -> Optional[int]:
+    """Infer the real kind of *expr* in *scope*; None for non-real.
+
+    ``overlay`` applies a precision assignment on top of declared kinds,
+    so variants can be kind-checked without transforming source.
+    """
+
+    def kind_of_symbol(name: str) -> Optional[int]:
+        sym = index.resolve(scope, name)
+        if sym is None or sym.type_ != "real":
+            return None
+        if overlay is not None:
+            return overlay.get(sym.qualified, sym.kind)
+        return sym.kind
+
+    def rec(e: F.Expr) -> Optional[int]:
+        if isinstance(e, F.RealLit):
+            return e.kind
+        if isinstance(e, (F.IntLit, F.LogicalLit, F.StringLit)):
+            return None
+        if isinstance(e, F.Name):
+            return kind_of_symbol(e.name)
+        if isinstance(e, F.UnaryOp):
+            if e.op == ".not.":
+                return None
+            return rec(e.operand)
+        if isinstance(e, F.BinOp):
+            if e.op in ("==", "/=", "<", "<=", ">", ">=", ".and.", ".or.",
+                        ".eqv.", ".neqv."):
+                return None
+            kl, kr = rec(e.left), rec(e.right)
+            if kl is None:
+                return kr
+            if kr is None:
+                return kl
+            return max(kl, kr)
+        if isinstance(e, F.RangeExpr):
+            return None
+        if isinstance(e, F.ArrayCons):
+            kinds = [rec(i) for i in e.items]
+            reals = [k for k in kinds if k is not None]
+            return max(reals) if reals else None
+        if isinstance(e, F.KeywordArg):
+            return rec(e.value)
+        if isinstance(e, F.ComponentRef):
+            return _component_kind(e, index, scope)
+        if isinstance(e, F.Apply):
+            # Array reference?
+            sym = index.resolve(scope, e.name)
+            if sym is not None and sym.is_array:
+                if sym.type_ != "real":
+                    return None
+                if overlay is not None:
+                    return overlay.get(sym.qualified, sym.kind)
+                return sym.kind
+            # User function?
+            proc_scope = index.find_procedure(e.name)
+            if proc_scope is not None:
+                node = proc_scope.node
+                if isinstance(node, F.Function):
+                    res = proc_scope.symbols.get(node.result)
+                    if res is None or res.type_ != "real":
+                        return None
+                    if overlay is not None:
+                        return overlay.get(res.qualified, res.kind)
+                    return res.kind
+                return None
+            # Intrinsic
+            if e.name in ("real", "float", "sngl"):
+                for a in e.args:
+                    if isinstance(a, F.KeywordArg) and a.name == "kind":
+                        if isinstance(a.value, F.IntLit):
+                            return a.value.value
+                if e.name == "real" and len(e.args) > 1:
+                    second = e.args[1]
+                    if isinstance(second, F.IntLit):
+                        return second.value
+                return KIND_SINGLE
+            if e.name == "dble":
+                return KIND_DOUBLE
+            if e.name in _INTEGER_RESULT or e.name in _LOGICAL_RESULT:
+                return None
+            if e.name in _KIND_PRESERVING:
+                for a in e.args:
+                    k = rec(a)
+                    if k is not None:
+                        return k
+                return None
+            if e.name in _KIND_PROMOTING:
+                kinds = [rec(a) for a in e.args]
+                reals = [k for k in kinds if k is not None]
+                return max(reals) if reals else None
+            if e.name in INTRINSICS:
+                for a in e.args:
+                    k = rec(a)
+                    if k is not None:
+                        return k
+            return None
+        return None
+
+    return rec(expr)
+
+
+def _component_kind(e: F.ComponentRef, index: ProgramIndex,
+                    scope: str) -> Optional[int]:
+    """Kind of a derived-type component access (no overlay support —
+    components are not search atoms in this study)."""
+    base = e.base
+    type_name: Optional[str] = None
+    if isinstance(base, F.Name):
+        sym = index.resolve(scope, base.name)
+        if sym is not None:
+            type_name = sym.derived_name
+    if type_name is None:
+        return None
+    tdef = index.type_defs.get(type_name)
+    if tdef is None:
+        return None
+    for decl in tdef.components:
+        for ent in decl.entities:
+            if ent.name == e.component and decl.spec.base == "real":
+                if isinstance(decl.spec.kind, F.IntLit):
+                    return decl.spec.kind.value
+                return KIND_SINGLE
+    return None
+
+
+def expr_root_variable(expr: F.Expr) -> Optional[str]:
+    """If *expr* is a plain variable reference (possibly subscripted),
+    return the variable's bare name; else None.
+
+    Used to attach precision-flow edges: only direct variable actuals
+    participate in the Section III-C parameter-passing graph (an
+    expression actual materializes a temporary of the expression's kind,
+    which the assignment rule converts for free).
+    """
+    if isinstance(expr, F.Name):
+        return expr.name
+    if isinstance(expr, F.Apply):
+        return expr.name  # may be a function ref; callers must check
+    return None

@@ -1,0 +1,176 @@
+"""Tokenizer for the supported free-form Fortran subset.
+
+The lexer operates on one :class:`~repro.fortran.sourceform.LogicalLine`
+at a time (statement-oriented, as Fortran is line-oriented).  Names are
+lower-cased — Fortran is case-insensitive — but string literals keep
+their original spelling.
+
+Token kinds
+-----------
+``NAME``    identifiers and keywords (the parser distinguishes keywords)
+``INT``     integer literals, possibly with a kind suffix (``4_8``)
+``REAL``    real literals: ``1.0``, ``1.e-3``, ``1.0d0``, ``2.5_8``
+``STRING``  character literals (value holds the unquoted text)
+``OP``      operators and punctuation, including ``::``, ``**``, ``=>``,
+            relational spellings (``==`` etc. and ``.lt.`` family are
+            normalized to the modern spellings), and logical operators
+            ``.and.`` / ``.or.`` / ``.not.`` / ``.eqv.`` / ``.neqv.``
+``LOGICAL`` ``.true.`` / ``.false.``
+``EOL``     end of statement (one per logical line)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import LexError
+from .sourceform import LogicalLine, logical_lines
+
+__all__ = ["Token", "tokenize_line", "tokenize"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NAME INT REAL STRING OP LOGICAL EOL
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+# Dotted operators, longest first.  Old-style relational operators are
+# normalized to the modern spellings so the parser sees a single form.
+_DOT_OPS = {
+    ".and.": ".and.",
+    ".or.": ".or.",
+    ".not.": ".not.",
+    ".eqv.": ".eqv.",
+    ".neqv.": ".neqv.",
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+    ".eq.": "==",
+    ".ne.": "/=",
+    ".true.": ".true.",
+    ".false.": ".false.",
+}
+
+# Multi-character punctuation operators, longest first.
+_MULTI_OPS = ["::", "**", "==", "/=", "<=", ">=", "=>", "(/", "/)"]
+_SINGLE_OPS = set("+-*/<>=(),:%")
+
+_NAME_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9_]*")
+# Real literal: needs a decimal point with digits on at least one side and
+# optionally an exponent, OR digits followed by an exponent letter.  A kind
+# suffix (_8, _real64-style names resolved later as integers only) may follow.
+_REAL_RE = re.compile(
+    r"""
+    (?:
+        (?:\d+\.\d*|\.\d+|\d+\.(?![a-zA-Z]))   # 1.  1.5  .5   (but not 1.and.)
+        (?:[edED][+-]?\d+)?                     # optional exponent
+      |
+        \d+[edED][+-]?\d+                       # 1e5, 2d-3
+    )
+    (?:_\w+)?                                   # optional kind suffix
+    """,
+    re.VERBOSE,
+)
+_INT_RE = re.compile(r"\d+(?:_\w+)?")
+
+
+def tokenize_line(line: LogicalLine) -> list[Token]:
+    """Tokenize a single logical line, appending an ``EOL`` token."""
+    text = line.text
+    toks: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+
+        col = i + 1
+
+        # Character literals.
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            buf: list[str] = []
+            while j < n:
+                if text[j] == quote:
+                    if j + 1 < n and text[j + 1] == quote:
+                        buf.append(quote)
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            else:
+                raise LexError("unterminated string", line=line.lineno, col=col)
+            toks.append(Token("STRING", "".join(buf), line.lineno, col))
+            i = j + 1
+            continue
+
+        # Dotted operators / logical literals.
+        if ch == ".":
+            matched = False
+            low = text[i : i + 7].lower()
+            for dop, norm in _DOT_OPS.items():
+                if low.startswith(dop):
+                    kind = "LOGICAL" if norm in (".true.", ".false.") else "OP"
+                    toks.append(Token(kind, norm, line.lineno, col))
+                    i += len(dop)
+                    matched = True
+                    break
+            if matched:
+                continue
+            # Fall through: may be a real literal like ".5".
+
+        # Numeric literals.  A real is preferred when the pattern matches at
+        # this position (digits or a leading dot).
+        if ch.isdigit() or ch == ".":
+            m = _REAL_RE.match(text, i)
+            if m:
+                toks.append(Token("REAL", m.group(0), line.lineno, col))
+                i = m.end()
+                continue
+            m = _INT_RE.match(text, i)
+            if m:
+                toks.append(Token("INT", m.group(0), line.lineno, col))
+                i = m.end()
+                continue
+            raise LexError(f"bad numeric literal near {text[i:i+8]!r}",
+                           line=line.lineno, col=col)
+
+        # Names.
+        m = _NAME_RE.match(text, i)
+        if m:
+            toks.append(Token("NAME", m.group(0).lower(), line.lineno, col))
+            i = m.end()
+            continue
+
+        # Multi-char punctuation.
+        two = text[i : i + 2]
+        if two in _MULTI_OPS:
+            toks.append(Token("OP", two, line.lineno, col))
+            i += 2
+            continue
+        if ch in _SINGLE_OPS:
+            toks.append(Token("OP", ch, line.lineno, col))
+            i += 1
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line=line.lineno, col=col)
+
+    toks.append(Token("EOL", "", line.lineno, n + 1))
+    return toks
+
+
+def tokenize(source: str) -> list[list[Token]]:
+    """Tokenize full source text into one token list per logical line."""
+    return [tokenize_line(ll) for ll in logical_lines(source)]

@@ -1,0 +1,1044 @@
+"""Recursive-descent parser for the supported free-form Fortran subset.
+
+The parser is statement oriented: :mod:`repro.fortran.sourceform`
+delivers logical lines, :mod:`repro.fortran.lexer` tokenizes each line,
+and this module assembles program units and block constructs from the
+stream of statement token lists.
+
+Entry point: :func:`parse_source` (or ``Parser(source).parse()``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast_nodes as F
+from .lexer import Token, tokenize
+
+__all__ = ["Parser", "parse_source"]
+
+# Statement keywords that can never begin an assignment statement.  Used to
+# disambiguate e.g. ``do i = 1, n`` from an assignment to a variable ``do``.
+_BLOCK_END_SPELLINGS = {
+    "endif": "if", "enddo": "do", "endtype": "type", "endmodule": "module",
+    "endsubroutine": "subroutine", "endfunction": "function",
+    "endprogram": "program", "endselect": "select",
+}
+
+_PROC_PREFIXES = {"pure", "elemental", "recursive", "impure"}
+_TYPE_KEYWORDS = {"real", "integer", "logical", "character", "double", "type"}
+
+
+class _Line:
+    """Cursor over one tokenized logical line."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    @property
+    def lineno(self) -> int:
+        return self.tokens[0].line if self.tokens else 0
+
+    def peek(self, offset: int = 0) -> Token:
+        j = min(self.i + offset, len(self.tokens) - 1)
+        return self.tokens[j]
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOL"
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        if tok.kind != "EOL":
+            self.i += 1
+        return tok
+
+    def accept(self, kind: str, value: str | None = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            want = value if value is not None else kind
+            raise ParseError(
+                f"expected {want!r}, got {got.value!r}", line=got.line, col=got.col
+            )
+        return tok
+
+    def accept_name(self, *names: str) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == "NAME" and tok.value in names:
+            return self.next()
+        return None
+
+    def expect_name(self, *names: str) -> Token:
+        tok = self.accept_name(*names)
+        if tok is None:
+            got = self.peek()
+            raise ParseError(
+                f"expected one of {names}, got {got.value!r}",
+                line=got.line, col=got.col,
+            )
+        return tok
+
+    def require_end(self) -> None:
+        tok = self.peek()
+        if tok.kind != "EOL":
+            raise ParseError(
+                f"unexpected trailing tokens starting at {tok.value!r}",
+                line=tok.line, col=tok.col,
+            )
+
+
+class Parser:
+    """Parses full source text into a :class:`repro.fortran.ast_nodes.SourceFile`."""
+
+    def __init__(self, source: str):
+        self._lines = [_Line(toks) for toks in tokenize(source)]
+        self._pos = 0
+
+    # -- line stream ------------------------------------------------------
+
+    def _peek_line(self) -> Optional[_Line]:
+        if self._pos < len(self._lines):
+            return self._lines[self._pos]
+        return None
+
+    def _next_line(self) -> _Line:
+        line = self._peek_line()
+        if line is None:
+            raise ParseError("unexpected end of source")
+        self._pos += 1
+        return line
+
+    # -- entry point ------------------------------------------------------
+
+    def parse(self) -> F.SourceFile:
+        units: list[F.Node] = []
+        while self._peek_line() is not None:
+            line = self._peek_line()
+            assert line is not None
+            head = line.peek()
+            if head.kind != "NAME":
+                raise ParseError(
+                    f"expected a program unit, got {head.value!r}",
+                    line=head.line, col=head.col,
+                )
+            if head.value == "module":
+                units.append(self._parse_module())
+            elif head.value == "program":
+                units.append(self._parse_main_program())
+            elif self._starts_procedure(line):
+                units.append(self._parse_procedure())
+            else:
+                raise ParseError(
+                    f"expected a program unit, got {head.value!r}",
+                    line=head.line, col=head.col,
+                )
+        return F.SourceFile(units=units)
+
+    # -- program units ----------------------------------------------------
+
+    def _starts_procedure(self, line: _Line) -> bool:
+        """True if *line* begins a subroutine or function definition."""
+        i = 0
+        # Skip prefixes (pure, elemental, ...) and a possible type prefix.
+        while True:
+            tok = line.peek(i)
+            if tok.kind != "NAME":
+                return False
+            if tok.value in ("subroutine", "function"):
+                return True
+            if tok.value in _PROC_PREFIXES:
+                i += 1
+                continue
+            if tok.value in _TYPE_KEYWORDS:
+                # A type prefix may be followed by a parenthesized kind.
+                i += 1
+                if tok.value == "double":
+                    if line.peek(i).value == "precision":
+                        i += 1
+                    continue
+                if line.peek(i).value == "(":
+                    depth = 0
+                    while True:
+                        t = line.peek(i)
+                        if t.kind == "EOL":
+                            return False
+                        if t.value == "(":
+                            depth += 1
+                        elif t.value == ")":
+                            depth -= 1
+                            if depth == 0:
+                                i += 1
+                                break
+                        i += 1
+                continue
+            return False
+
+    def _parse_module(self) -> F.Module:
+        line = self._next_line()
+        line.expect_name("module")
+        name = line.expect("NAME").value
+        line.require_end()
+        mod = F.Module(name=name, line=line.lineno)
+
+        in_contains = False
+        while True:
+            cur = self._peek_line()
+            if cur is None:
+                raise ParseError(f"missing 'end module {name}'", line=line.lineno)
+            head = cur.peek()
+            if head.kind == "NAME" and self._is_end_of(cur, "module"):
+                self._consume_end(cur, "module", name)
+                break
+            if head.kind == "NAME" and head.value == "contains" and cur.peek(1).kind == "EOL":
+                self._next_line()
+                in_contains = True
+                continue
+            if in_contains:
+                mod.procedures.append(self._parse_procedure())
+            else:
+                mod.decls.append(self._parse_specification_stmt())
+        return mod
+
+    def _parse_main_program(self) -> F.MainProgram:
+        line = self._next_line()
+        line.expect_name("program")
+        name = line.expect("NAME").value
+        line.require_end()
+        prog = F.MainProgram(name=name, line=line.lineno)
+        self._parse_proc_body(prog, "program", name)
+        return prog
+
+    def _parse_procedure(self) -> F.ProcedureUnit:
+        line = self._next_line()
+        prefix_spec: Optional[F.TypeSpec] = None
+        while True:
+            tok = line.peek()
+            if tok.kind == "NAME" and tok.value in _PROC_PREFIXES:
+                line.next()
+                continue
+            if tok.kind == "NAME" and tok.value in _TYPE_KEYWORDS:
+                prefix_spec = self._parse_type_spec(line)
+                continue
+            break
+
+        kw = line.expect_name("subroutine", "function")
+        name = line.expect("NAME").value
+        args: list[str] = []
+        if line.accept("OP", "("):
+            if not line.accept("OP", ")"):
+                while True:
+                    args.append(line.expect("NAME").value)
+                    if line.accept("OP", ")"):
+                        break
+                    line.expect("OP", ",")
+        result_name: Optional[str] = None
+        if kw.value == "function" and line.accept_name("result"):
+            line.expect("OP", "(")
+            result_name = line.expect("NAME").value
+            line.expect("OP", ")")
+        line.require_end()
+
+        proc: F.ProcedureUnit
+        if kw.value == "subroutine":
+            proc = F.Subroutine(name=name, args=args, line=line.lineno)
+        else:
+            proc = F.Function(
+                name=name, args=args, result_name=result_name,
+                prefix_spec=prefix_spec, line=line.lineno,
+            )
+        self._parse_proc_body(proc, kw.value, name)
+        return proc
+
+    def _parse_proc_body(self, proc: F.ProcedureUnit, unit_kw: str, name: str) -> None:
+        """Parse specification part, execution part, optional CONTAINS."""
+        in_exec = False
+        in_contains = False
+        while True:
+            cur = self._peek_line()
+            if cur is None:
+                raise ParseError(f"missing 'end {unit_kw} {name}'")
+            head = cur.peek()
+            if head.kind == "NAME" and self._is_end_of(cur, unit_kw):
+                self._consume_end(cur, unit_kw, name)
+                return
+            if head.kind == "NAME" and head.value == "contains" and cur.peek(1).kind == "EOL":
+                self._next_line()
+                in_contains = True
+                continue
+            if in_contains:
+                proc.contains.append(self._parse_procedure())
+                continue
+            if not in_exec and self._is_specification(cur):
+                proc.decls.append(self._parse_specification_stmt())
+            else:
+                in_exec = True
+                proc.body.append(self._parse_executable_construct())
+
+    def _is_end_of(self, line: _Line, unit_kw: str) -> bool:
+        head = line.peek()
+        if head.value == "end":
+            nxt = line.peek(1)
+            if nxt.kind == "EOL":
+                return True
+            return nxt.kind == "NAME" and nxt.value == unit_kw
+        return _BLOCK_END_SPELLINGS.get(head.value) == unit_kw
+
+    def _consume_end(self, line: _Line, unit_kw: str, name: str | None) -> None:
+        self._next_line()
+        head = line.next()
+        if head.value == "end":
+            if line.accept_name(unit_kw) and name is not None:
+                tok = line.accept("NAME")
+                if tok is not None and tok.value != name:
+                    raise ParseError(
+                        f"mismatched end name {tok.value!r} (expected {name!r})",
+                        line=tok.line, col=tok.col,
+                    )
+        else:  # endmodule / endsubroutine / ...
+            tok = line.accept("NAME")
+            if tok is not None and name is not None and tok.value != name:
+                raise ParseError(
+                    f"mismatched end name {tok.value!r} (expected {name!r})",
+                    line=tok.line, col=tok.col,
+                )
+        line.require_end()
+
+    # -- specification statements -----------------------------------------
+
+    def _is_specification(self, line: _Line) -> bool:
+        head = line.peek()
+        if head.kind != "NAME":
+            return False
+        v = head.value
+        if v in ("use", "implicit"):
+            return True
+        if v == "type":
+            # ``type(t) :: x`` or ``type :: t`` or ``type, ... :: t`` or
+            # ``type t`` (definition) — all specification.
+            nxt = line.peek(1)
+            return nxt.value in ("(", "::", ",") or nxt.kind == "NAME"
+        if v in ("real", "integer", "logical", "character", "double"):
+            # Distinguish a declaration from e.g. assignment to a variable
+            # named "real" (never happens in practice, but ``real(...)``
+            # also appears as an intrinsic call in expressions — those are
+            # not statement-initial).  A declaration has ``::`` somewhere,
+            # or the classic form ``real x`` / ``real(8) x``.
+            return True
+        return False
+
+    def _parse_specification_stmt(self) -> F.Stmt:
+        line = self._peek_line()
+        assert line is not None
+        head = line.peek()
+        v = head.value
+        if v == "use":
+            return self._parse_use(self._next_line())
+        if v == "implicit":
+            ln = self._next_line()
+            ln.expect_name("implicit")
+            ln.expect_name("none")
+            ln.require_end()
+            return F.ImplicitNone(line=ln.lineno)
+        if v == "type" and line.peek(1).value != "(":
+            return self._parse_type_def()
+        return self._parse_type_decl(self._next_line())
+
+    def _parse_use(self, line: _Line) -> F.UseStmt:
+        line.expect_name("use")
+        mod = line.expect("NAME").value
+        only: Optional[list[tuple[str, str]]] = None
+        if line.accept("OP", ","):
+            line.expect_name("only")
+            line.expect("OP", ":")
+            only = []
+            while True:
+                local = line.expect("NAME").value
+                use_name = local
+                if line.accept("OP", "=>"):
+                    use_name = line.expect("NAME").value
+                only.append((local, use_name))
+                if not line.accept("OP", ","):
+                    break
+        line.require_end()
+        return F.UseStmt(module=mod, only=only, line=line.lineno)
+
+    def _parse_type_def(self) -> F.TypeDef:
+        line = self._next_line()
+        line.expect_name("type")
+        # Optional ``::`` and attribute list (e.g. ``type, public :: t``).
+        if line.accept("OP", ","):
+            line.expect("NAME")  # attribute such as public/private — ignored
+        line.accept("OP", "::")
+        name = line.expect("NAME").value
+        line.require_end()
+        tdef = F.TypeDef(name=name, line=line.lineno)
+        while True:
+            cur = self._peek_line()
+            if cur is None:
+                raise ParseError(f"missing 'end type {name}'", line=line.lineno)
+            if self._is_end_of(cur, "type"):
+                self._consume_end(cur, "type", name)
+                return tdef
+            tdef.components.append(self._parse_type_decl(self._next_line()))
+
+    def _parse_type_spec(self, line: _Line) -> F.TypeSpec:
+        tok = line.expect("NAME")
+        base = tok.value
+        spec = F.TypeSpec(base=base, line=tok.line)
+        if base == "double":
+            line.expect_name("precision")
+            spec.base = "real"
+            spec.kind = F.IntLit(value=8, line=tok.line)
+            return spec
+        if base == "type":
+            line.expect("OP", "(")
+            spec.derived_name = line.expect("NAME").value
+            line.expect("OP", ")")
+            return spec
+        if line.accept("OP", "("):
+            if base == "character":
+                if line.accept_name("len"):
+                    line.expect("OP", "=")
+                if line.accept("OP", "*"):
+                    spec.char_len = None
+                else:
+                    spec.char_len = self._parse_expr(line)
+            else:
+                if line.accept_name("kind"):
+                    line.expect("OP", "=")
+                spec.kind = self._parse_expr(line)
+            line.expect("OP", ")")
+        elif line.accept("OP", "*"):
+            # Legacy ``real*8`` form.
+            width = line.expect("INT")
+            spec.kind = F.IntLit(value=int(width.value) , line=tok.line)
+        return spec
+
+    def _parse_array_spec(self, line: _Line) -> list[F.ArrayDim]:
+        """Parse a parenthesized dimension list; '(' already consumed."""
+        dims: list[F.ArrayDim] = []
+        while True:
+            dim = F.ArrayDim(line=line.lineno)
+            tok = line.peek()
+            if tok.value == ":":
+                line.next()
+                dim.assumed = True
+            elif tok.value == "*":
+                line.next()
+                dim.deferred = True
+            else:
+                first = self._parse_expr(line)
+                if line.accept("OP", ":"):
+                    nxt = line.peek()
+                    if nxt.value == "*":
+                        line.next()
+                        dim.lower = first
+                        dim.deferred = True
+                    else:
+                        dim.lower = first
+                        dim.upper = self._parse_expr(line)
+                else:
+                    dim.upper = first
+            dims.append(dim)
+            if line.accept("OP", ")"):
+                return dims
+            line.expect("OP", ",")
+
+    def _parse_type_decl(self, line: _Line) -> F.TypeDecl:
+        spec = self._parse_type_spec(line)
+        decl = F.TypeDecl(spec=spec, line=line.lineno)
+        while line.accept("OP", ","):
+            attr = line.expect("NAME").value
+            if attr == "intent":
+                line.expect("OP", "(")
+                tok = line.expect_name("in", "out", "inout")
+                decl.intent = tok.value
+                if decl.intent == "in" and line.accept_name("out"):
+                    decl.intent = "inout"
+                line.expect("OP", ")")
+            elif attr == "dimension":
+                line.expect("OP", "(")
+                decl.dims = self._parse_array_spec(line)
+            else:
+                decl.attrs.append(attr)
+        has_colons = line.accept("OP", "::") is not None
+        while True:
+            name = line.expect("NAME").value
+            ent = F.EntityDecl(name=name, line=line.lineno)
+            if line.accept("OP", "("):
+                ent.dims = self._parse_array_spec(line)
+            if line.accept("OP", "="):
+                ent.init = self._parse_expr(line)
+                if not has_colons and ent.init is not None:
+                    raise ParseError(
+                        "initializer requires '::' in declaration",
+                        line=line.lineno,
+                    )
+            decl.entities.append(ent)
+            if not line.accept("OP", ","):
+                break
+        line.require_end()
+        return decl
+
+    # -- executable constructs ----------------------------------------------
+
+    def _parse_executable_construct(self) -> F.Stmt:
+        line = self._peek_line()
+        assert line is not None
+        head = line.peek()
+        if head.kind == "NAME":
+            v = head.value
+            nxt = line.peek(1)
+            if v == "if" and nxt.value == "(":
+                return self._parse_if()
+            if v == "do" and (nxt.kind in ("NAME", "EOL")):
+                return self._parse_do()
+            if v == "select" and nxt.kind == "NAME" and nxt.value == "case":
+                return self._parse_select_case()
+            if v == "where" and nxt.value == "(":
+                return self._parse_where()
+            if v == "call":
+                return self._parse_call(self._next_line())
+            if v == "exit" and nxt.kind == "EOL":
+                ln = self._next_line()
+                return F.ExitStmt(line=ln.lineno)
+            if v == "cycle" and nxt.kind == "EOL":
+                ln = self._next_line()
+                return F.CycleStmt(line=ln.lineno)
+            if v == "return" and nxt.kind == "EOL":
+                ln = self._next_line()
+                return F.ReturnStmt(line=ln.lineno)
+            if v in ("stop", "error"):
+                return self._parse_stop(self._next_line())
+            if v == "print":
+                return self._parse_print(self._next_line())
+            if v == "allocate":
+                return self._parse_allocate(self._next_line())
+            if v == "deallocate":
+                return self._parse_deallocate(self._next_line())
+            if v == "continue" and nxt.kind == "EOL":
+                ln = self._next_line()
+                # Represent 'continue' as an empty print-less no-op: reuse
+                # CycleStmt would change semantics, so use an empty IfBlock.
+                return F.IfBlock(arms=[], line=ln.lineno)
+        # Otherwise: an assignment statement.
+        return self._parse_assignment(self._next_line())
+
+    def _parse_action_stmt_inline(self, line: _Line) -> F.Stmt:
+        """Parse the action statement of a one-line ``if (cond) stmt``."""
+        head = line.peek()
+        if head.kind == "NAME":
+            v = head.value
+            if v == "call":
+                return self._parse_call(line)
+            if v == "exit" and line.peek(1).kind == "EOL":
+                line.next()
+                return F.ExitStmt(line=line.lineno)
+            if v == "cycle" and line.peek(1).kind == "EOL":
+                line.next()
+                return F.CycleStmt(line=line.lineno)
+            if v == "return" and line.peek(1).kind == "EOL":
+                line.next()
+                return F.ReturnStmt(line=line.lineno)
+            if v in ("stop", "error"):
+                return self._parse_stop(line)
+            if v == "print":
+                return self._parse_print(line)
+        return self._parse_assignment(line)
+
+    def _parse_assignment(self, line: _Line) -> F.Stmt:
+        target = self._parse_designator(line)
+        if line.accept("OP", "=>"):
+            value = self._parse_expr(line)
+            line.require_end()
+            return F.PointerAssignment(target=target, value=value, line=line.lineno)
+        line.expect("OP", "=")
+        value = self._parse_expr(line)
+        line.require_end()
+        return F.Assignment(target=target, value=value, line=line.lineno)
+
+    def _parse_designator(self, line: _Line) -> F.Expr:
+        tok = line.expect("NAME")
+        expr: F.Expr
+        if line.peek().value == "(":
+            line.next()
+            args = self._parse_actual_args(line)
+            expr = F.Apply(name=tok.value, args=args, line=tok.line)
+        else:
+            expr = F.Name(name=tok.value, line=tok.line)
+        while line.peek().value == "%":
+            line.next()
+            comp = line.expect("NAME").value
+            args = None
+            if line.peek().value == "(":
+                line.next()
+                args = self._parse_actual_args(line)
+            expr = F.ComponentRef(base=expr, component=comp, args=args, line=tok.line)
+        return expr
+
+    def _parse_call(self, line: _Line) -> F.CallStmt:
+        line.expect_name("call")
+        name = line.expect("NAME").value
+        args: list[F.Expr] = []
+        if line.accept("OP", "("):
+            args = self._parse_actual_args(line)
+        line.require_end()
+        return F.CallStmt(name=name, args=args, line=line.lineno)
+
+    def _parse_stop(self, line: _Line) -> F.StopStmt:
+        is_error = False
+        if line.accept_name("error"):
+            is_error = True
+        line.expect_name("stop")
+        stmt = F.StopStmt(is_error=is_error, line=line.lineno)
+        tok = line.peek()
+        if tok.kind == "STRING":
+            line.next()
+            stmt.message = tok.value
+        elif tok.kind != "EOL":
+            stmt.code = self._parse_expr(line)
+        line.require_end()
+        return stmt
+
+    def _parse_print(self, line: _Line) -> F.PrintStmt:
+        line.expect_name("print")
+        line.expect("OP", "*")
+        stmt = F.PrintStmt(line=line.lineno)
+        while line.accept("OP", ","):
+            stmt.items.append(self._parse_expr(line))
+        line.require_end()
+        return stmt
+
+    def _parse_allocate(self, line: _Line) -> F.AllocateStmt:
+        line.expect_name("allocate")
+        line.expect("OP", "(")
+        stmt = F.AllocateStmt(line=line.lineno)
+        while True:
+            name = line.expect("NAME").value
+            line.expect("OP", "(")
+            dims = self._parse_array_spec(line)
+            # Reuse Apply to carry the allocation shape; each dim becomes a
+            # RangeExpr (lower:upper) or plain upper expression.
+            args: list[F.Expr] = []
+            for d in dims:
+                if d.lower is not None:
+                    args.append(F.RangeExpr(lo=d.lower, hi=d.upper, line=line.lineno))
+                else:
+                    assert d.upper is not None
+                    args.append(d.upper)
+            stmt.items.append(F.Apply(name=name, args=args, line=line.lineno))
+            if line.accept("OP", ")"):
+                break
+            line.expect("OP", ",")
+        line.require_end()
+        return stmt
+
+    def _parse_deallocate(self, line: _Line) -> F.DeallocateStmt:
+        line.expect_name("deallocate")
+        line.expect("OP", "(")
+        stmt = F.DeallocateStmt(line=line.lineno)
+        while True:
+            stmt.names.append(line.expect("NAME").value)
+            if line.accept("OP", ")"):
+                break
+            line.expect("OP", ",")
+        line.require_end()
+        return stmt
+
+    # -- block constructs ---------------------------------------------------
+
+    def _parse_if(self) -> F.Stmt:
+        line = self._next_line()
+        line.expect_name("if")
+        line.expect("OP", "(")
+        cond = self._parse_expr(line)
+        line.expect("OP", ")")
+        if line.accept_name("then"):
+            line.require_end()
+            block = F.IfBlock(line=line.lineno)
+            arm = F.IfArm(cond=cond, line=line.lineno)
+            block.arms.append(arm)
+            current = arm
+            while True:
+                cur = self._peek_line()
+                if cur is None:
+                    raise ParseError("missing 'end if'", line=line.lineno)
+                head = cur.peek()
+                if self._is_end_of(cur, "if"):
+                    self._consume_end(cur, "if", None)
+                    return block
+                if head.kind == "NAME" and head.value in ("else", "elseif"):
+                    ln = self._next_line()
+                    ln.next()  # else / elseif
+                    new_cond: Optional[F.Expr] = None
+                    if head.value == "elseif" or ln.accept_name("if"):
+                        ln.expect("OP", "(")
+                        new_cond = self._parse_expr(ln)
+                        ln.expect("OP", ")")
+                        ln.expect_name("then")
+                    ln.require_end()
+                    current = F.IfArm(cond=new_cond, line=ln.lineno)
+                    block.arms.append(current)
+                    continue
+                current.body.append(self._parse_executable_construct())
+        # One-line if.
+        stmt = self._parse_action_stmt_inline(line)
+        line.require_end()
+        arm = F.IfArm(cond=cond, body=[stmt], line=line.lineno)
+        return F.IfBlock(arms=[arm], line=line.lineno)
+
+    def _parse_select_case(self) -> F.SelectCase:
+        line = self._next_line()
+        line.expect_name("select")
+        line.expect_name("case")
+        line.expect("OP", "(")
+        selector = self._parse_expr(line)
+        line.expect("OP", ")")
+        line.require_end()
+        block = F.SelectCase(selector=selector, line=line.lineno)
+        current: Optional[F.CaseBlock] = None
+        while True:
+            cur = self._peek_line()
+            if cur is None:
+                raise ParseError("missing 'end select'", line=line.lineno)
+            head = cur.peek()
+            if self._is_end_of(cur, "select"):
+                self._consume_end(cur, "select", None)
+                return block
+            if head.kind == "NAME" and head.value == "case":
+                ln = self._next_line()
+                ln.expect_name("case")
+                if ln.accept_name("default"):
+                    current = F.CaseBlock(selectors=None, line=ln.lineno)
+                else:
+                    ln.expect("OP", "(")
+                    selectors: list[F.CaseSelector] = []
+                    while True:
+                        first = self._parse_expr(ln)
+                        if ln.accept("OP", ":"):
+                            hi = self._parse_expr(ln)
+                            selectors.append(F.CaseSelector(
+                                lo=first, hi=hi, line=ln.lineno))
+                        else:
+                            selectors.append(F.CaseSelector(
+                                value=first, line=ln.lineno))
+                        if ln.accept("OP", ")"):
+                            break
+                        ln.expect("OP", ",")
+                    current = F.CaseBlock(selectors=selectors,
+                                          line=ln.lineno)
+                ln.require_end()
+                block.cases.append(current)
+                continue
+            if current is None:
+                raise ParseError(
+                    "statement before first 'case' in select case",
+                    line=head.line,
+                )
+            current.body.append(self._parse_executable_construct())
+
+    def _parse_where(self) -> F.Stmt:
+        line = self._next_line()
+        line.expect_name("where")
+        line.expect("OP", "(")
+        mask = self._parse_expr(line)
+        line.expect("OP", ")")
+        if not line.at_end():
+            # One-line where: a single masked assignment.
+            stmt = self._parse_assignment(line)
+            if not isinstance(stmt, F.Assignment):
+                raise ParseError("one-line where needs an assignment",
+                                 line=line.lineno)
+            arm = F.WhereArm(mask=mask, body=[stmt], line=line.lineno)
+            return F.WhereConstruct(arms=[arm], line=line.lineno)
+        construct = F.WhereConstruct(line=line.lineno)
+        current = F.WhereArm(mask=mask, line=line.lineno)
+        construct.arms.append(current)
+        while True:
+            cur = self._peek_line()
+            if cur is None:
+                raise ParseError("missing 'end where'", line=line.lineno)
+            head = cur.peek()
+            if head.kind == "NAME" and head.value == "end" \
+                    and cur.peek(1).kind == "NAME" \
+                    and cur.peek(1).value == "where":
+                ln = self._next_line()
+                ln.expect_name("end")
+                ln.expect_name("where")
+                ln.require_end()
+                return construct
+            if head.kind == "NAME" and head.value == "endwhere":
+                self._next_line().next()
+                return construct
+            if head.kind == "NAME" and head.value == "elsewhere":
+                ln = self._next_line()
+                ln.expect_name("elsewhere")
+                new_mask: Optional[F.Expr] = None
+                if ln.accept("OP", "("):
+                    new_mask = self._parse_expr(ln)
+                    ln.expect("OP", ")")
+                ln.require_end()
+                current = F.WhereArm(mask=new_mask, line=ln.lineno)
+                construct.arms.append(current)
+                continue
+            stmt = self._parse_assignment(self._next_line())
+            if not isinstance(stmt, F.Assignment):
+                raise ParseError("where blocks contain only assignments",
+                                 line=head.line)
+            current.body.append(stmt)
+
+    def _parse_do(self) -> F.Stmt:
+        line = self._next_line()
+        line.expect_name("do")
+        if line.accept_name("while"):
+            line.expect("OP", "(")
+            cond = self._parse_expr(line)
+            line.expect("OP", ")")
+            line.require_end()
+            loop: F.Stmt = F.DoWhile(cond=cond, line=line.lineno)
+            body = loop.body  # type: ignore[attr-defined]
+        elif line.at_end():
+            # Plain ``do`` — an infinite loop terminated by ``exit``.
+            loop = F.DoWhile(cond=F.LogicalLit(value=True, line=line.lineno),
+                             line=line.lineno)
+            body = loop.body
+        else:
+            var = line.expect("NAME").value
+            line.expect("OP", "=")
+            start = self._parse_expr(line)
+            line.expect("OP", ",")
+            stop = self._parse_expr(line)
+            step: Optional[F.Expr] = None
+            if line.accept("OP", ","):
+                step = self._parse_expr(line)
+            line.require_end()
+            loop = F.DoLoop(var=var, start=start, stop=stop, step=step,
+                            line=line.lineno)
+            body = loop.body
+        while True:
+            cur = self._peek_line()
+            if cur is None:
+                raise ParseError("missing 'end do'", line=line.lineno)
+            if self._is_end_of(cur, "do"):
+                self._consume_end(cur, "do", None)
+                return loop
+            body.append(self._parse_executable_construct())
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expr(self, line: _Line) -> F.Expr:
+        return self._parse_equiv(line)
+
+    def _parse_equiv(self, line: _Line) -> F.Expr:
+        left = self._parse_or(line)
+        while True:
+            tok = line.peek()
+            if tok.kind == "OP" and tok.value in (".eqv.", ".neqv."):
+                line.next()
+                right = self._parse_or(line)
+                left = F.BinOp(op=tok.value, left=left, right=right, line=tok.line)
+            else:
+                return left
+
+    def _parse_or(self, line: _Line) -> F.Expr:
+        left = self._parse_and(line)
+        while line.peek().value == ".or.":
+            tok = line.next()
+            right = self._parse_and(line)
+            left = F.BinOp(op=".or.", left=left, right=right, line=tok.line)
+        return left
+
+    def _parse_and(self, line: _Line) -> F.Expr:
+        left = self._parse_not(line)
+        while line.peek().value == ".and.":
+            tok = line.next()
+            right = self._parse_not(line)
+            left = F.BinOp(op=".and.", left=left, right=right, line=tok.line)
+        return left
+
+    def _parse_not(self, line: _Line) -> F.Expr:
+        tok = line.peek()
+        if tok.value == ".not.":
+            line.next()
+            operand = self._parse_not(line)
+            return F.UnaryOp(op=".not.", operand=operand, line=tok.line)
+        return self._parse_comparison(line)
+
+    def _parse_comparison(self, line: _Line) -> F.Expr:
+        left = self._parse_additive(line)
+        tok = line.peek()
+        if tok.kind == "OP" and tok.value in ("==", "/=", "<", "<=", ">", ">="):
+            line.next()
+            right = self._parse_additive(line)
+            return F.BinOp(op=tok.value, left=left, right=right, line=tok.line)
+        return left
+
+    def _parse_additive(self, line: _Line) -> F.Expr:
+        tok = line.peek()
+        if tok.kind == "OP" and tok.value in ("+", "-"):
+            line.next()
+            operand = self._parse_multiplicative_chain(line)
+            left: F.Expr = F.UnaryOp(op=tok.value, operand=operand, line=tok.line)
+        else:
+            left = self._parse_multiplicative_chain(line)
+        while True:
+            tok = line.peek()
+            if tok.kind == "OP" and tok.value in ("+", "-"):
+                line.next()
+                right = self._parse_multiplicative_chain(line)
+                left = F.BinOp(op=tok.value, left=left, right=right, line=tok.line)
+            else:
+                return left
+
+    def _parse_multiplicative_chain(self, line: _Line) -> F.Expr:
+        left = self._parse_power(line)
+        while True:
+            tok = line.peek()
+            if tok.kind == "OP" and tok.value in ("*", "/"):
+                line.next()
+                right = self._parse_power(line)
+                left = F.BinOp(op=tok.value, left=left, right=right, line=tok.line)
+            else:
+                return left
+
+    def _parse_power(self, line: _Line) -> F.Expr:
+        base = self._parse_primary(line)
+        tok = line.peek()
+        if tok.value == "**":
+            line.next()
+            # ** is right-associative; unary minus binds looser: a ** -b ok.
+            sign = line.peek()
+            if sign.kind == "OP" and sign.value in ("+", "-"):
+                line.next()
+                exp: F.Expr = F.UnaryOp(op=sign.value,
+                                        operand=self._parse_power(line),
+                                        line=sign.line)
+            else:
+                exp = self._parse_power(line)
+            return F.BinOp(op="**", left=base, right=exp, line=tok.line)
+        return base
+
+    def _parse_primary(self, line: _Line) -> F.Expr:
+        tok = line.peek()
+        if tok.kind == "INT":
+            line.next()
+            text = tok.value
+            kind = None
+            if "_" in text:
+                text, _, suffix = text.partition("_")
+                kind = int(suffix) if suffix.isdigit() else None
+            return F.IntLit(value=int(text), kind=kind, line=tok.line)
+        if tok.kind == "REAL":
+            line.next()
+            text = tok.value
+            kind = 4
+            if "_" in text:
+                text, _, suffix = text.partition("_")
+                if suffix.isdigit():
+                    kind = int(suffix)
+            if "d" in text.lower():
+                kind = 8
+            return F.RealLit(text=text, kind=kind, line=tok.line)
+        if tok.kind == "LOGICAL":
+            line.next()
+            return F.LogicalLit(value=(tok.value == ".true."), line=tok.line)
+        if tok.kind == "STRING":
+            line.next()
+            return F.StringLit(value=tok.value, line=tok.line)
+        if tok.kind == "OP" and tok.value == "(":
+            line.next()
+            inner = self._parse_expr(line)
+            line.expect("OP", ")")
+            return inner
+        if tok.kind == "OP" and tok.value == "(/":
+            line.next()
+            items: list[F.Expr] = []
+            if not line.accept("OP", "/)"):
+                while True:
+                    items.append(self._parse_expr(line))
+                    if line.accept("OP", "/)"):
+                        break
+                    line.expect("OP", ",")
+            return F.ArrayCons(items=items, line=tok.line)
+        if tok.kind == "NAME":
+            return self._parse_designator_or_call(line)
+        raise ParseError(f"unexpected token {tok.value!r} in expression",
+                         line=tok.line, col=tok.col)
+
+    def _parse_designator_or_call(self, line: _Line) -> F.Expr:
+        tok = line.expect("NAME")
+        expr: F.Expr
+        if line.peek().value == "(":
+            line.next()
+            args = self._parse_actual_args(line)
+            expr = F.Apply(name=tok.value, args=args, line=tok.line)
+        else:
+            expr = F.Name(name=tok.value, line=tok.line)
+        while line.peek().value == "%":
+            line.next()
+            comp = line.expect("NAME").value
+            args = None
+            if line.peek().value == "(":
+                line.next()
+                args = self._parse_actual_args(line)
+            expr = F.ComponentRef(base=expr, component=comp, args=args,
+                                  line=tok.line)
+        return expr
+
+    def _parse_actual_args(self, line: _Line) -> list[F.Expr]:
+        """Parse arguments or subscripts; '(' already consumed."""
+        args: list[F.Expr] = []
+        if line.accept("OP", ")"):
+            return args
+        while True:
+            args.append(self._parse_subscript_or_arg(line))
+            if line.accept("OP", ")"):
+                return args
+            line.expect("OP", ",")
+
+    def _parse_subscript_or_arg(self, line: _Line) -> F.Expr:
+        tok = line.peek()
+        # Keyword argument: NAME '=' (but not '==').
+        if (tok.kind == "NAME" and line.peek(1).kind == "OP"
+                and line.peek(1).value == "="):
+            line.next()
+            line.next()
+            value = self._parse_expr(line)
+            return F.KeywordArg(name=tok.value, value=value, line=tok.line)
+        # Section with empty lower bound: ``(:n)`` / ``(:)`` / ``(::2)``.
+        if tok.kind == "OP" and tok.value == ":":
+            line.next()
+            return self._finish_range(line, None, tok.line)
+        first = self._parse_expr(line)
+        if line.peek().value == ":":
+            line.next()
+            return self._finish_range(line, first, tok.line)
+        return first
+
+    def _finish_range(self, line: _Line, lo: Optional[F.Expr], lineno: int) -> F.RangeExpr:
+        rng = F.RangeExpr(lo=lo, line=lineno)
+        tok = line.peek()
+        if tok.kind == "OP" and tok.value in (",", ")"):
+            return rng
+        if tok.kind == "OP" and tok.value == ":":
+            line.next()
+            rng.step = self._parse_expr(line)
+            return rng
+        rng.hi = self._parse_expr(line)
+        if line.peek().value == ":":
+            line.next()
+            rng.step = self._parse_expr(line)
+        return rng
+
+
+def parse_source(source: str) -> F.SourceFile:
+    """Parse free-form Fortran *source* into an AST."""
+    return Parser(source).parse()

@@ -1,0 +1,143 @@
+"""Free-form Fortran source handling.
+
+Turns raw source text into *logical lines*: comments stripped,
+continuations joined, semicolon-separated statements split, blank lines
+dropped.  Each logical line remembers the first physical line it came
+from so diagnostics and source diffs can point back into the original
+file.
+
+Only free source form is supported; the targeted models (MPAS-A, ADCIRC's
+modern core, MOM6) and all miniatures in :mod:`repro.models` are free
+form.  String literals are respected when scanning for ``!`` comments,
+``&`` continuations and ``;`` separators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LexError
+
+__all__ = ["LogicalLine", "logical_lines"]
+
+
+@dataclass(frozen=True)
+class LogicalLine:
+    """One logical Fortran statement line.
+
+    Attributes
+    ----------
+    text:
+        The joined statement text with comments removed and continuations
+        resolved.  Leading/trailing whitespace is stripped.
+    lineno:
+        1-based physical line number of the first physical line
+        contributing to this logical line.
+    """
+
+    text: str
+    lineno: int
+
+
+def _split_code_comment(line: str, lineno: int) -> str:
+    """Return *line* with any trailing ``!`` comment removed.
+
+    Quote-aware: ``!`` inside a character literal is not a comment.
+    """
+    in_quote: str | None = None
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if in_quote is not None:
+            if ch == in_quote:
+                # Doubled quote is an escaped quote inside the literal.
+                if i + 1 < n and line[i + 1] == in_quote:
+                    i += 1
+                else:
+                    in_quote = None
+        elif ch in ("'", '"'):
+            in_quote = ch
+        elif ch == "!":
+            return line[:i]
+        i += 1
+    if in_quote is not None:
+        raise LexError("unterminated character literal", line=lineno)
+    return line
+
+
+def _split_statements(text: str, lineno: int) -> list[str]:
+    """Split a logical line on ``;`` statement separators (quote-aware)."""
+    parts: list[str] = []
+    buf: list[str] = []
+    in_quote: str | None = None
+    for ch in text:
+        if in_quote is not None:
+            buf.append(ch)
+            if ch == in_quote:
+                in_quote = None
+            continue
+        if ch in ("'", '"'):
+            in_quote = ch
+            buf.append(ch)
+        elif ch == ";":
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    parts.append("".join(buf))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def logical_lines(source: str) -> list[LogicalLine]:
+    """Convert raw free-form source text into a list of logical lines.
+
+    Handles:
+
+    * ``!`` comments (quote-aware),
+    * trailing-``&`` continuations, including the optional leading ``&``
+      on the continued line,
+    * ``;`` multi-statement lines,
+    * blank and comment-only lines.
+    """
+    out: list[LogicalLine] = []
+    pending: list[str] = []
+    pending_lineno = 0
+
+    for idx, raw in enumerate(source.splitlines(), start=1):
+        code = _split_code_comment(raw, idx).rstrip()
+        stripped = code.strip()
+        if not stripped and not pending:
+            continue
+
+        if pending:
+            # We are inside a continuation: an optional leading '&' on the
+            # continued line is consumed.
+            if stripped.startswith("&"):
+                stripped = stripped[1:].lstrip()
+            if not stripped:
+                # A blank/comment-only physical line inside a continuation
+                # sequence is permitted and ignored.
+                continue
+
+        if stripped.endswith("&"):
+            if not pending:
+                pending_lineno = idx
+            pending.append(stripped[:-1].rstrip())
+            continue
+
+        if pending:
+            pending.append(stripped)
+            text = " ".join(p for p in pending if p)
+            start = pending_lineno
+            pending = []
+        else:
+            text = stripped
+            start = idx
+
+        for stmt in _split_statements(text, start):
+            out.append(LogicalLine(stmt, start))
+
+    if pending:
+        raise LexError("source ends inside a continuation", line=pending_lineno)
+    return out

@@ -1,0 +1,347 @@
+"""Symbol tables and semantic analysis for the Fortran subset.
+
+:func:`analyze` walks a parsed :class:`~repro.fortran.ast_nodes.SourceFile`
+and produces a :class:`ProgramIndex`:
+
+* one :class:`ScopeInfo` per module and per procedure (including internal
+  procedures hosted in a ``contains`` block),
+* a :class:`Symbol` per declared entity with its *resolved* kind (named
+  kind constants such as ``integer, parameter :: r8 = 8`` are folded),
+* the set of floating-point variable symbols — the **search atoms** of
+  precision tuning (paper Section III-A).
+
+Scoping model: a procedure scope sees its own declarations, then its host
+(module or containing procedure) declarations, then declarations of
+``use``-d modules in the same source file.  This matches the subset of
+Fortran semantics the miniatures rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import SemanticError
+from . import ast_nodes as F
+
+__all__ = [
+    "Symbol", "ScopeInfo", "ProgramIndex", "analyze", "qualified_name",
+    "KIND_SINGLE", "KIND_DOUBLE",
+]
+
+KIND_SINGLE = 4
+KIND_DOUBLE = 8
+
+
+@dataclass
+class Symbol:
+    """One declared entity (variable, named constant, or dummy argument)."""
+
+    name: str
+    type_: str                      # real | integer | logical | character | derived
+    kind: Optional[int]             # resolved kind for real/integer
+    dims: Optional[list[F.ArrayDim]]
+    is_parameter: bool = False
+    is_argument: bool = False
+    is_allocatable: bool = False
+    intent: Optional[str] = None
+    init: Optional[F.Expr] = None
+    derived_name: Optional[str] = None
+    scope: str = ""                 # qualified scope name
+    decl: Optional[F.TypeDecl] = None
+    entity: Optional[F.EntityDecl] = None
+
+    @property
+    def is_real(self) -> bool:
+        return self.type_ == "real"
+
+    @property
+    def is_array(self) -> bool:
+        return self.dims is not None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.scope}::{self.name}" if self.scope else self.name
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims) if self.dims else 0
+
+
+@dataclass
+class ScopeInfo:
+    """Symbols and metadata for one module or procedure scope."""
+
+    name: str                       # qualified: "mod" or "mod::proc"
+    node: F.Node = None             # type: ignore[assignment]
+    parent: Optional["ScopeInfo"] = None
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    uses: list[str] = field(default_factory=list)  # used module names
+    is_procedure: bool = False
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        """Local lookup only (no host/use association)."""
+        return self.symbols.get(name)
+
+
+@dataclass
+class ProgramIndex:
+    """Semantic index over one parsed source file."""
+
+    source: F.SourceFile = None     # type: ignore[assignment]
+    scopes: dict[str, ScopeInfo] = field(default_factory=dict)
+    modules: dict[str, ScopeInfo] = field(default_factory=dict)
+    procedures: dict[str, ScopeInfo] = field(default_factory=dict)
+    # Derived-type definitions by lower-case name.
+    type_defs: dict[str, F.TypeDef] = field(default_factory=dict)
+    # Map from bare procedure name to qualified scope names defining it.
+    proc_by_name: dict[str, list[str]] = field(default_factory=dict)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, scope: str, name: str) -> Optional[Symbol]:
+        """Resolve *name* from *scope* via local → host → use association."""
+        info = self.scopes.get(scope)
+        seen_modules: set[str] = set()
+        while info is not None:
+            sym = info.lookup(name)
+            if sym is not None:
+                return sym
+            for mod in info.uses:
+                seen_modules.add(mod)
+            info = info.parent
+        for mod in seen_modules:
+            minfo = self.modules.get(mod)
+            if minfo is not None:
+                sym = minfo.lookup(name)
+                if sym is not None:
+                    return sym
+        # Fall back: search all modules (single-file programs in this repo
+        # always have unambiguous module-level names).
+        for minfo in self.modules.values():
+            sym = minfo.lookup(name)
+            if sym is not None:
+                return sym
+        return None
+
+    def find_procedure(self, name: str) -> Optional[ScopeInfo]:
+        quals = self.proc_by_name.get(name)
+        if not quals:
+            return None
+        return self.procedures[quals[0]]
+
+    # -- atoms ---------------------------------------------------------------
+
+    def fp_symbols(self, scope_filter: Optional[set[str]] = None) -> Iterator[Symbol]:
+        """Yield every non-parameter real symbol — the tuning search atoms.
+
+        Named real constants (``parameter``) are excluded: Precimonious-style
+        tools tune storage declarations, and constants fold away anyway.
+        """
+        for info in self.scopes.values():
+            if scope_filter is not None and info.name not in scope_filter:
+                continue
+            for sym in info.symbols.values():
+                if sym.is_real and not sym.is_parameter:
+                    yield sym
+
+
+def qualified_name(*parts: str) -> str:
+    return "::".join(p for p in parts if p)
+
+
+# ---------------------------------------------------------------------------
+# Constant folding for kind expressions and named constants
+# ---------------------------------------------------------------------------
+
+
+def _fold_int(expr: F.Expr, consts: dict[str, int]) -> Optional[int]:
+    """Best-effort integer constant folding (kinds, array bounds)."""
+    if isinstance(expr, F.IntLit):
+        return expr.value
+    if isinstance(expr, F.Name):
+        return consts.get(expr.name)
+    if isinstance(expr, F.UnaryOp):
+        val = _fold_int(expr.operand, consts)
+        if val is None:
+            return None
+        return -val if expr.op == "-" else val
+    if isinstance(expr, F.BinOp):
+        left = _fold_int(expr.left, consts)
+        right = _fold_int(expr.right, consts)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left // right if right else None
+        if expr.op == "**":
+            return left ** right
+    if isinstance(expr, F.Apply):
+        # selected_real_kind(p) → 4 for p <= 6 else 8, matching the two
+        # precision levels this study considers.
+        if expr.name == "selected_real_kind" and expr.args:
+            p = _fold_int(expr.args[0], consts)
+            if p is not None:
+                return KIND_SINGLE if p <= 6 else KIND_DOUBLE
+        if expr.name == "kind" and expr.args:
+            arg = expr.args[0]
+            if isinstance(arg, F.RealLit):
+                return arg.kind
+            if isinstance(arg, F.IntLit):
+                return KIND_SINGLE
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+class _Analyzer:
+    def __init__(self, source: F.SourceFile):
+        self.index = ProgramIndex(source=source)
+        # Integer named constants per scope chain, for kind folding.
+        self._module_consts: dict[str, dict[str, int]] = {}
+
+    def run(self) -> ProgramIndex:
+        for unit in self.index.source.units:
+            if isinstance(unit, F.Module):
+                self._do_module(unit)
+            elif isinstance(unit, F.ProcedureUnit):
+                self._do_procedure(unit, parent=None, consts={})
+            else:
+                raise SemanticError(
+                    f"unsupported top-level unit {type(unit).__name__}",
+                    line=unit.line,
+                )
+        return self.index
+
+    # -- helpers -------------------------------------------------------------
+
+    def _do_module(self, mod: F.Module) -> None:
+        if mod.name in self.index.modules:
+            raise SemanticError(f"duplicate module {mod.name!r}", line=mod.line)
+        info = ScopeInfo(name=mod.name, node=mod)
+        self.index.scopes[info.name] = info
+        self.index.modules[mod.name] = info
+        consts: dict[str, int] = {}
+        self._module_consts[mod.name] = consts
+        self._collect_decls(mod.decls, info, consts)
+        for proc in mod.procedures:
+            self._do_procedure(proc, parent=info, consts=consts)
+
+    def _do_procedure(self, proc: F.ProcedureUnit, parent: Optional[ScopeInfo],
+                      consts: dict[str, int]) -> None:
+        qual = qualified_name(parent.name if parent else "", proc.name)
+        if qual in self.index.procedures:
+            raise SemanticError(f"duplicate procedure {qual!r}", line=proc.line)
+        info = ScopeInfo(name=qual, node=proc, parent=parent, is_procedure=True)
+        self.index.scopes[qual] = info
+        self.index.procedures[qual] = info
+        self.index.proc_by_name.setdefault(proc.name, []).append(qual)
+
+        local_consts = dict(consts)
+        self._collect_decls(proc.decls, info, local_consts)
+
+        # Mark dummy arguments; the function result is also a symbol.
+        for arg in proc.args:
+            sym = info.symbols.get(arg)
+            if sym is None:
+                raise SemanticError(
+                    f"dummy argument {arg!r} of {proc.name!r} is not declared",
+                    line=proc.line,
+                )
+            sym.is_argument = True
+        if isinstance(proc, F.Function):
+            res = proc.result
+            if res not in info.symbols:
+                if proc.prefix_spec is not None:
+                    kind = None
+                    if proc.prefix_spec.kind is not None:
+                        kind = _fold_int(proc.prefix_spec.kind, local_consts)
+                    info.symbols[res] = Symbol(
+                        name=res, type_=proc.prefix_spec.base,
+                        kind=kind if kind is not None else KIND_SINGLE,
+                        dims=None, scope=qual,
+                        derived_name=proc.prefix_spec.derived_name,
+                    )
+                else:
+                    raise SemanticError(
+                        f"result {res!r} of function {proc.name!r} is not declared",
+                        line=proc.line,
+                    )
+
+        for inner in proc.contains:
+            self._do_procedure(inner, parent=info, consts=local_consts)
+
+    def _collect_decls(self, decls: list[F.Stmt], info: ScopeInfo,
+                       consts: dict[str, int]) -> None:
+        for stmt in decls:
+            if isinstance(stmt, F.UseStmt):
+                info.uses.append(stmt.module)
+                # Import integer constants of already-analyzed modules so
+                # kind names like r8 resolve across module boundaries.
+                imported = self._module_consts.get(stmt.module)
+                if imported:
+                    if stmt.only is None:
+                        consts.update(imported)
+                    else:
+                        for local, use_name in stmt.only:
+                            if use_name in imported:
+                                consts[local] = imported[use_name]
+            elif isinstance(stmt, F.ImplicitNone):
+                continue
+            elif isinstance(stmt, F.TypeDef):
+                self.index.type_defs[stmt.name] = stmt
+            elif isinstance(stmt, F.TypeDecl):
+                self._collect_type_decl(stmt, info, consts)
+            else:
+                raise SemanticError(
+                    f"unexpected statement in specification part: "
+                    f"{type(stmt).__name__}", line=stmt.line,
+                )
+
+    def _collect_type_decl(self, stmt: F.TypeDecl, info: ScopeInfo,
+                           consts: dict[str, int]) -> None:
+        base = stmt.spec.base
+        kind: Optional[int] = None
+        if base in ("real", "integer"):
+            if stmt.spec.kind is not None:
+                kind = _fold_int(stmt.spec.kind, consts)
+                if kind is None:
+                    raise SemanticError(
+                        "could not resolve kind expression", line=stmt.line
+                    )
+            else:
+                kind = KIND_SINGLE
+        is_param = "parameter" in stmt.attrs
+        is_alloc = "allocatable" in stmt.attrs
+        for ent in stmt.entities:
+            dims = ent.dims if ent.dims is not None else stmt.dims
+            if ent.name in info.symbols:
+                raise SemanticError(
+                    f"duplicate declaration of {ent.name!r} in {info.name!r}",
+                    line=stmt.line,
+                )
+            sym = Symbol(
+                name=ent.name, type_="derived" if base == "type" else base,
+                kind=kind, dims=dims, is_parameter=is_param,
+                is_allocatable=is_alloc, intent=stmt.intent, init=ent.init,
+                derived_name=stmt.spec.derived_name, scope=info.name,
+                decl=stmt, entity=ent,
+            )
+            info.symbols[ent.name] = sym
+            if is_param and base == "integer" and ent.init is not None:
+                val = _fold_int(ent.init, consts)
+                if val is not None:
+                    consts[ent.name] = val
+
+
+def analyze(source: F.SourceFile) -> ProgramIndex:
+    """Build the semantic index for a parsed source file."""
+    return _Analyzer(source).run()

@@ -1,0 +1,283 @@
+"""Taint-based program reduction (paper Section III-C).
+
+ROSE — the only source-to-source infrastructure with partial Fortran
+support — "often generates uncompilable source for unsupported language
+constructs" on full model code.  The paper's key insight is that the
+transformation only needs a *subset* of the AST:
+
+1. statements declaring target variables;
+2. statements passing target variables as arguments to procedure calls;
+3. statements defining symbols referenced by 1, 2 and (recursively) 3;
+4. import (``use``) statements required to make those symbols available;
+5. program structures (modules, procedures, derived types) containing
+   any of the above.
+
+This module implements the analogous fixed-point taint propagation and
+produces a *reduced program* that parses and analyzes standalone.  After
+transforming the reduced program, :func:`reinsert` merges the retyped
+declarations back into the full original program — completing the
+reduce → transform → reinsert cycle of the paper's tool.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..errors import TransformError
+from . import ast_nodes as F
+from .symbols import ProgramIndex, analyze
+from .transform import TransformResult, apply_assignment
+
+__all__ = ["ReducedProgram", "reduce_program", "reinsert"]
+
+
+@dataclass
+class ReducedProgram:
+    """The minimal program slice fed to the (fragile) AST transformer."""
+
+    ast: F.SourceFile
+    index: ProgramIndex
+    tainted_symbols: set[str]
+    kept_procedures: set[str]
+    # Statistics for reporting: how much of the program was dropped.
+    original_statements: int = 0
+    kept_statements: int = 0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of executable statements *removed* by the reduction."""
+        if self.original_statements == 0:
+            return 0.0
+        return 1.0 - self.kept_statements / self.original_statements
+
+
+def _names_in(expr: F.Expr) -> set[str]:
+    out = set()
+    for n in F.walk(expr):
+        if isinstance(n, F.Name):
+            out.add(n.name)
+        elif isinstance(n, F.Apply):
+            out.add(n.name)
+    return out
+
+
+def _count_stmts(stmts: list[F.Stmt]) -> int:
+    n = 0
+    for s in stmts:
+        n += 1
+        if isinstance(s, F.IfBlock):
+            for arm in s.arms:
+                n += _count_stmts(arm.body)
+        elif isinstance(s, (F.DoLoop, F.DoWhile)):
+            n += _count_stmts(s.body)
+    return n
+
+
+def reduce_program(index: ProgramIndex,
+                   targets: set[str]) -> ReducedProgram:
+    """Compute the taint fixed point and build the reduced program.
+
+    *targets* are qualified FP variable names (the tuning search atoms).
+    """
+    for qual in targets:
+        scope, _, name = qual.rpartition("::")
+        info = index.scopes.get(scope)
+        if info is None or name not in info.symbols:
+            raise TransformError(f"taint target {qual!r} does not exist")
+
+    tainted: set[str] = set(targets)          # qualified symbol names
+    kept_procs: set[str] = set()               # qualified procedure names
+    # (scope, id(stmt)) of kept executable statements (rule 2).
+    kept_exec: set[int] = set()
+
+    def local_tainted_names(scope: str) -> set[str]:
+        return {q.rpartition("::")[2] for q in tainted
+                if q.rpartition("::")[0] == scope}
+
+    changed = True
+    while changed:
+        changed = False
+        for qual, scope_info in index.procedures.items():
+            proc = scope_info.node
+            assert isinstance(proc, F.ProcedureUnit)
+            local = local_tainted_names(qual)
+            # Also names visible by host/use association.
+            visible = set(local)
+            for q in tainted:
+                tscope = q.rpartition("::")[0]
+                if tscope in index.modules:
+                    visible.add(q.rpartition("::")[2])
+
+            # Rule 2: statements passing tainted vars to procedure calls.
+            for stmt in _walk_exec(proc.body):
+                call_nodes = []
+                if isinstance(stmt, F.CallStmt):
+                    call_nodes.append((stmt.name, stmt.args))
+                for sub in F.walk(stmt):
+                    if isinstance(sub, F.Apply) and \
+                            index.find_procedure(sub.name) is not None:
+                        sym = index.resolve(qual, sub.name)
+                        if sym is None or not sym.is_array:
+                            call_nodes.append((sub.name, sub.args))
+                for callee_name, args in call_nodes:
+                    callee = index.find_procedure(callee_name)
+                    if callee is None:
+                        continue
+                    callee_proc = callee.node
+                    assert isinstance(callee_proc, F.ProcedureUnit)
+                    for actual, dummy in zip(args, callee_proc.args):
+                        roots = _names_in(actual)
+                        if roots & visible:
+                            dummy_qual = f"{callee.name}::{dummy}"
+                            if id(stmt) not in kept_exec:
+                                kept_exec.add(id(stmt))
+                                changed = True
+                            if dummy_qual not in tainted:
+                                tainted.add(dummy_qual)
+                                changed = True
+                            if qual not in kept_procs:
+                                kept_procs.add(qual)
+                                changed = True
+                            if callee.name not in kept_procs:
+                                kept_procs.add(callee.name)
+                                changed = True
+
+            if local and qual not in kept_procs:
+                kept_procs.add(qual)
+                changed = True
+
+        # Rule 3: symbols referenced by kept declarations (kind names,
+        # array-bound names, initializers).
+        for q in list(tainted):
+            scope, _, name = q.rpartition("::")
+            info = index.scopes.get(scope)
+            if info is None:
+                continue
+            sym = info.symbols.get(name)
+            if sym is None or sym.decl is None:
+                continue
+            referenced: set[str] = set()
+            if sym.decl.spec.kind is not None:
+                referenced |= _names_in(sym.decl.spec.kind)
+            if sym.dims is not None:
+                for dim in sym.dims:
+                    if dim.lower is not None:
+                        referenced |= _names_in(dim.lower)
+                    if dim.upper is not None:
+                        referenced |= _names_in(dim.upper)
+            if sym.init is not None:
+                referenced |= _names_in(sym.init)
+            for ref in referenced:
+                rsym = index.resolve(scope, ref)
+                if rsym is not None and rsym.qualified not in tainted:
+                    tainted.add(rsym.qualified)
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # Build the reduced AST.
+    # ------------------------------------------------------------------
+    reduced_units: list[F.Node] = []
+    total_stmts = 0
+    kept_stmts = 0
+
+    for unit in index.source.units:
+        if isinstance(unit, F.Module):
+            mod_tainted = {q.rpartition("::")[2] for q in tainted
+                           if q.rpartition("::")[0] == unit.name}
+            new_mod = F.Module(name=unit.name, line=unit.line)
+            for d in unit.decls:
+                if _keep_decl(d, mod_tainted):
+                    new_mod.decls.append(copy.deepcopy(d))
+            for proc in unit.procedures:
+                total_stmts += _count_stmts(proc.body)
+                qual = f"{unit.name}::{proc.name}"
+                if qual not in kept_procs:
+                    continue
+                new_proc = _reduce_procedure(proc, qual, tainted, kept_exec)
+                kept_stmts += _count_stmts(new_proc.body)
+                new_mod.procedures.append(new_proc)
+            if new_mod.decls or new_mod.procedures:
+                reduced_units.append(new_mod)
+        elif isinstance(unit, F.ProcedureUnit):
+            total_stmts += _count_stmts(unit.body)
+            if unit.name in kept_procs:
+                new_proc = _reduce_procedure(unit, unit.name, tainted,
+                                             kept_exec)
+                kept_stmts += _count_stmts(new_proc.body)
+                reduced_units.append(new_proc)
+
+    reduced = F.SourceFile(units=reduced_units)
+    reduced_index = analyze(reduced)
+    return ReducedProgram(
+        ast=reduced, index=reduced_index, tainted_symbols=tainted,
+        kept_procedures=kept_procs, original_statements=total_stmts,
+        kept_statements=kept_stmts,
+    )
+
+
+def _walk_exec(stmts: list[F.Stmt]):
+    for s in stmts:
+        yield s
+        if isinstance(s, F.IfBlock):
+            for arm in s.arms:
+                yield from _walk_exec(arm.body)
+        elif isinstance(s, (F.DoLoop, F.DoWhile)):
+            yield from _walk_exec(s.body)
+
+
+def _keep_decl(stmt: F.Stmt, tainted_local: set[str]) -> bool:
+    """Rule 1/3/4 filter for specification statements."""
+    if isinstance(stmt, (F.UseStmt, F.ImplicitNone)):
+        return True   # rule 4, conservatively
+    if isinstance(stmt, F.TypeDef):
+        return True   # rule 5: derived-type containers
+    if isinstance(stmt, F.TypeDecl):
+        if any(ent.name in tainted_local for ent in stmt.entities):
+            return True
+        # Parameters are cheap to keep and are frequently referenced by
+        # kind expressions and bounds (rule 3's common case).
+        return "parameter" in stmt.attrs
+    return False
+
+
+def _reduce_procedure(proc: F.ProcedureUnit, qual: str, tainted: set[str],
+                      kept_exec: set[int]) -> F.ProcedureUnit:
+    local_tainted = {q.rpartition("::")[2] for q in tainted
+                     if q.rpartition("::")[0] == qual}
+    new = copy.copy(proc)
+    new.decls = [copy.deepcopy(d) for d in proc.decls
+                 if _keep_decl(d, local_tainted | set(proc.args))]
+    body: list[F.Stmt] = []
+    for stmt in _walk_exec(proc.body):
+        if id(stmt) in kept_exec and not isinstance(
+                stmt, (F.IfBlock, F.DoLoop, F.DoWhile)):
+            body.append(copy.deepcopy(stmt))
+    new.body = body
+    new.contains = []
+    return new
+
+
+def reinsert(original: F.SourceFile,
+             transformed_reduced: ProgramIndex) -> TransformResult:
+    """Merge a transformed reduced program's kinds back into *original*.
+
+    Extracts the (possibly retyped) kinds of every real symbol in the
+    reduced program and applies them to the full original program — the
+    "reinserted into the original model code" step of Section III-C.
+    """
+    assignment: dict[str, int] = {}
+    for scope_info in transformed_reduced.scopes.values():
+        for sym in scope_info.symbols.values():
+            if sym.type_ == "real" and not sym.is_parameter \
+                    and sym.kind is not None:
+                assignment[sym.qualified] = sym.kind
+    # Drop names that do not exist in the original (wrapper locals).
+    orig_index = analyze(copy.deepcopy(original))
+    valid = {}
+    for qual, kind in assignment.items():
+        scope, _, name = qual.rpartition("::")
+        info = orig_index.scopes.get(scope)
+        if info is not None and name in info.symbols:
+            valid[qual] = kind
+    return apply_assignment(original, valid)

@@ -1,0 +1,143 @@
+"""Source-to-source precision transformation (paper Section III-C).
+
+:func:`apply_assignment` takes a parsed program and a precision
+assignment (qualified variable name → real kind) and returns a *new*
+program whose declarations are retyped, splitting multi-entity
+declarations when entities diverge — exactly the Figure-3 diff shape:
+
+.. code-block:: diff
+
+    -  real(kind=8) :: s1, h, t1, t2, dppi
+    +  real(kind=8) :: s1
+    +  real(kind=4) :: h, t1, t2, dppi
+
+After retyping, :func:`repro.fortran.wrappers.generate_wrappers` must be
+run to restore Fortran's rule that argument association never converts
+precision (the paper's Figure-4 wrappers); :func:`transform_program`
+bundles both steps.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..errors import TransformError
+from . import ast_nodes as F
+from .symbols import ProgramIndex, analyze
+
+__all__ = ["TransformResult", "apply_assignment", "transform_program"]
+
+
+@dataclass
+class TransformResult:
+    """A transformed program variant."""
+
+    ast: F.SourceFile
+    index: ProgramIndex
+    changed: list[str]          # qualified names whose kind changed
+    wrappers: list[str]         # wrapper procedure names added (if any)
+
+
+def _retype_decls(decls: list[F.Stmt], scope: str,
+                  index: ProgramIndex,
+                  assignment: dict[str, int],
+                  changed: list[str]) -> list[F.Stmt]:
+    """Rewrite a declaration list applying *assignment*; returns new list."""
+    out: list[F.Stmt] = []
+    scope_info = index.scopes[scope]
+    for stmt in decls:
+        if not isinstance(stmt, F.TypeDecl) or stmt.spec.base != "real":
+            out.append(stmt)
+            continue
+        # Partition entities by target kind.
+        groups: dict[int, list[F.EntityDecl]] = {}
+        order: list[int] = []
+        for ent in stmt.entities:
+            sym = scope_info.symbols.get(ent.name)
+            declared = sym.kind if sym is not None else None
+            qual = f"{scope}::{ent.name}"
+            target = assignment.get(qual, declared)
+            if target is None:
+                raise TransformError(f"cannot resolve kind of {qual}")
+            if target != declared:
+                changed.append(qual)
+            groups.setdefault(target, []).append(ent)
+            if target not in order:
+                order.append(target)
+        if len(groups) == 1:
+            # Uniform target: retype in place if it differs from declared.
+            (target,) = groups
+            sym0 = scope_info.symbols.get(stmt.entities[0].name)
+            if sym0 is not None and sym0.kind == target:
+                out.append(stmt)
+            else:
+                new = copy.copy(stmt)
+                new.spec = F.TypeSpec(base="real",
+                                      kind=F.IntLit(value=target),
+                                      line=stmt.spec.line)
+                out.append(new)
+            continue
+        for target in order:
+            new = copy.copy(stmt)
+            new.entities = groups[target]
+            new.spec = F.TypeSpec(base="real", kind=F.IntLit(value=target),
+                                  line=stmt.spec.line)
+            out.append(new)
+    return out
+
+
+def apply_assignment(source: F.SourceFile,
+                     assignment: dict[str, int]) -> TransformResult:
+    """Return a retyped copy of *source* (no wrapper generation)."""
+    ast = copy.deepcopy(source)
+    index = analyze(ast)
+
+    unknown = [q for q in assignment if not _qual_exists(index, q)]
+    if unknown:
+        raise TransformError(
+            f"assignment names unknown variables: {sorted(unknown)[:5]}"
+        )
+
+    changed: list[str] = []
+
+    def do_proc(proc: F.ProcedureUnit, scope: str) -> None:
+        proc.decls = _retype_decls(proc.decls, scope, index, assignment,
+                                   changed)
+        for inner in proc.contains:
+            do_proc(inner, f"{scope}::{inner.name}")
+
+    for unit in ast.units:
+        if isinstance(unit, F.Module):
+            unit.decls = _retype_decls(unit.decls, unit.name, index,
+                                       assignment, changed)
+            for proc in unit.procedures:
+                do_proc(proc, f"{unit.name}::{proc.name}")
+        elif isinstance(unit, F.ProcedureUnit):
+            do_proc(unit, unit.name)
+
+    new_index = analyze(ast)
+    return TransformResult(ast=ast, index=new_index, changed=changed,
+                           wrappers=[])
+
+
+def _qual_exists(index: ProgramIndex, qual: str) -> bool:
+    scope, _, name = qual.rpartition("::")
+    info = index.scopes.get(scope)
+    return info is not None and name in info.symbols
+
+
+def transform_program(source: F.SourceFile,
+                      assignment: dict[str, int]) -> TransformResult:
+    """Retype declarations *and* insert mixed-precision wrappers.
+
+    This is the full variant-generation pipeline the paper's tool runs for
+    every precision assignment suggested by the search.
+    """
+    from .wrappers import generate_wrappers  # late import: cycle avoidance
+
+    result = apply_assignment(source, assignment)
+    wrap_names = generate_wrappers(result.ast, result.index)
+    result.index = analyze(result.ast)
+    result.wrappers = wrap_names
+    return result

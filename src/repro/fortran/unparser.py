@@ -1,0 +1,339 @@
+"""Unparser: render an AST back to free-form Fortran source.
+
+The output is normalized (lower case keywords, two-space indents,
+``kind=`` spelled explicitly) but semantically identical to the input, so
+``parse(unparse(parse(src)))`` is a fixed point.  The tuning tool uses
+this to materialize mixed-precision variants as real Fortran source files
+and to produce the Figure-3-style diffs shown to domain experts.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as F
+from ..errors import ReproError
+
+__all__ = ["unparse", "unparse_expr", "unparse_stmt"]
+
+_INDENT = "  "
+
+# Operator precedence for minimal parenthesization (higher binds tighter).
+_PREC = {
+    ".eqv.": 1, ".neqv.": 1,
+    ".or.": 2,
+    ".and.": 3,
+    ".not.": 4,
+    "==": 5, "/=": 5, "<": 5, "<=": 5, ">": 5, ">=": 5,
+    "+": 6, "-": 6,
+    "*": 7, "/": 7,
+    "unary": 8,
+    "**": 9,
+}
+
+
+def unparse_expr(e: F.Expr) -> str:
+    return _expr(e, 0)
+
+
+def _expr(e: F.Expr, parent_prec: int) -> str:
+    if isinstance(e, F.IntLit):
+        s = str(e.value)
+        if e.kind is not None:
+            s += f"_{e.kind}"
+        return s
+    if isinstance(e, F.RealLit):
+        s = e.text
+        if e.kind == 8 and "d" not in s.lower():
+            s += "_8"
+        return s
+    if isinstance(e, F.LogicalLit):
+        return ".true." if e.value else ".false."
+    if isinstance(e, F.StringLit):
+        return "'" + e.value.replace("'", "''") + "'"
+    if isinstance(e, F.Name):
+        return e.name
+    if isinstance(e, F.KeywordArg):
+        return f"{e.name}={_expr(e.value, 0)}"
+    if isinstance(e, F.Apply):
+        args = ", ".join(_expr(a, 0) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, F.ComponentRef):
+        base = _expr(e.base, _PREC['unary'])
+        s = f"{base}%{e.component}"
+        if e.args is not None:
+            s += "(" + ", ".join(_expr(a, 0) for a in e.args) + ")"
+        return s
+    if isinstance(e, F.RangeExpr):
+        lo = _expr(e.lo, 0) if e.lo is not None else ""
+        hi = _expr(e.hi, 0) if e.hi is not None else ""
+        s = f"{lo}:{hi}"
+        if e.step is not None:
+            s += f":{_expr(e.step, 0)}"
+        return s
+    if isinstance(e, F.ArrayCons):
+        return "(/ " + ", ".join(_expr(i, 0) for i in e.items) + " /)"
+    if isinstance(e, F.UnaryOp):
+        if e.op in ("+", "-"):
+            inner = _expr(e.operand, _PREC["unary"])
+            s = f"{e.op}{inner}"
+            # A leading sign is only legal where an additive operand may
+            # start (Fortran forbids `a * -b` and `--b`): parenthesize
+            # whenever the context binds tighter than +/-.
+            return f"({s})" if _PREC["+"] < parent_prec else s
+        inner = _expr(e.operand, _PREC[".not."])
+        s = f"{e.op} {inner}"
+        return f"({s})" if _PREC[".not."] < parent_prec else s
+    if isinstance(e, F.BinOp):
+        prec = _PREC[e.op]
+        # Left-associative: right side of -,/ needs a bump; ** is
+        # right-associative so the *left* side gets the bump.
+        if e.op == "**":
+            left = _expr(e.left, prec + 1)
+            right = _expr(e.right, prec)
+        else:
+            left = _expr(e.left, prec)
+            right = _expr(e.right, prec + 1)
+        sep = e.op if e.op.startswith(".") else e.op
+        s = f"{left} {sep} {right}"
+        return f"({s})" if prec < parent_prec else s
+    raise ReproError(f"cannot unparse expression node {type(e).__name__}")
+
+
+def _array_spec(dims: list[F.ArrayDim]) -> str:
+    parts = []
+    for d in dims:
+        if d.assumed:
+            parts.append(":")
+        elif d.deferred and d.lower is None:
+            parts.append("*")
+        elif d.deferred:
+            parts.append(f"{_expr(d.lower, 0)}:*")
+        elif d.lower is not None:
+            parts.append(f"{_expr(d.lower, 0)}:{_expr(d.upper, 0)}")
+        else:
+            parts.append(_expr(d.upper, 0))
+    return "(" + ", ".join(parts) + ")"
+
+
+def _type_spec(spec: F.TypeSpec) -> str:
+    if spec.base == "type":
+        return f"type({spec.derived_name})"
+    if spec.base == "character":
+        if spec.char_len is None:
+            return "character(len=*)"
+        return f"character(len={_expr(spec.char_len, 0)})"
+    if spec.kind is not None:
+        return f"{spec.base}(kind={_expr(spec.kind, 0)})"
+    return spec.base
+
+
+def _decl_line(decl: F.TypeDecl) -> str:
+    parts = [_type_spec(decl.spec)]
+    for attr in decl.attrs:
+        parts.append(attr)
+    if decl.dims is not None:
+        parts.append(f"dimension{_array_spec(decl.dims)}")
+    if decl.intent is not None:
+        parts.append(f"intent({decl.intent})")
+    head = ", ".join(parts)
+    ents = []
+    for ent in decl.entities:
+        s = ent.name
+        if ent.dims is not None:
+            s += _array_spec(ent.dims)
+        if ent.init is not None:
+            s += f" = {_expr(ent.init, 0)}"
+        ents.append(s)
+    return f"{head} :: {', '.join(ents)}"
+
+
+def unparse_stmt(stmt: F.Stmt, depth: int = 0) -> list[str]:
+    """Render one statement (possibly a block) as indented source lines."""
+    pad = _INDENT * depth
+    out: list[str] = []
+
+    if isinstance(stmt, F.TypeDecl):
+        out.append(pad + _decl_line(stmt))
+    elif isinstance(stmt, F.TypeDef):
+        out.append(pad + f"type :: {stmt.name}")
+        for comp in stmt.components:
+            out.extend(unparse_stmt(comp, depth + 1))
+        out.append(pad + "end type " + stmt.name)
+    elif isinstance(stmt, F.UseStmt):
+        s = f"use {stmt.module}"
+        if stmt.only is not None:
+            items = []
+            for local, use_name in stmt.only:
+                items.append(local if local == use_name else f"{local} => {use_name}")
+            s += ", only: " + ", ".join(items)
+        out.append(pad + s)
+    elif isinstance(stmt, F.ImplicitNone):
+        out.append(pad + "implicit none")
+    elif isinstance(stmt, F.Assignment):
+        out.append(pad + f"{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)}")
+    elif isinstance(stmt, F.PointerAssignment):
+        out.append(pad + f"{unparse_expr(stmt.target)} => {unparse_expr(stmt.value)}")
+    elif isinstance(stmt, F.CallStmt):
+        args = ", ".join(unparse_expr(a) for a in stmt.args)
+        out.append(pad + f"call {stmt.name}({args})")
+    elif isinstance(stmt, F.IfBlock):
+        if not stmt.arms:
+            out.append(pad + "continue")
+            return out
+        first = stmt.arms[0]
+        # Collapse a single-armed, single-simple-statement if to one line.
+        if (len(stmt.arms) == 1 and len(first.body) == 1
+                and isinstance(first.body[0], (F.Assignment, F.CallStmt,
+                                               F.ExitStmt, F.CycleStmt,
+                                               F.ReturnStmt, F.StopStmt))):
+            inner = unparse_stmt(first.body[0], 0)[0]
+            out.append(pad + f"if ({unparse_expr(first.cond)}) {inner}")
+            return out
+        for i, arm in enumerate(stmt.arms):
+            if i == 0:
+                out.append(pad + f"if ({unparse_expr(arm.cond)}) then")
+            elif arm.cond is not None:
+                out.append(pad + f"else if ({unparse_expr(arm.cond)}) then")
+            else:
+                out.append(pad + "else")
+            for s in arm.body:
+                out.extend(unparse_stmt(s, depth + 1))
+        out.append(pad + "end if")
+    elif isinstance(stmt, F.SelectCase):
+        out.append(pad + f"select case ({unparse_expr(stmt.selector)})")
+        for case in stmt.cases:
+            if case.selectors is None:
+                out.append(pad + "case default")
+            else:
+                parts = []
+                for sel in case.selectors:
+                    if sel.is_range:
+                        parts.append(f"{unparse_expr(sel.lo)}:"
+                                     f"{unparse_expr(sel.hi)}")
+                    else:
+                        parts.append(unparse_expr(sel.value))
+                out.append(pad + f"case ({', '.join(parts)})")
+            for inner in case.body:
+                out.extend(unparse_stmt(inner, depth + 1))
+        out.append(pad + "end select")
+    elif isinstance(stmt, F.WhereConstruct):
+        first = stmt.arms[0]
+        if len(stmt.arms) == 1 and len(first.body) == 1:
+            inner = unparse_stmt(first.body[0], 0)[0]
+            out.append(pad + f"where ({unparse_expr(first.mask)}) {inner}")
+            return out
+        for i, arm in enumerate(stmt.arms):
+            if i == 0:
+                out.append(pad + f"where ({unparse_expr(arm.mask)})")
+            elif arm.mask is not None:
+                out.append(pad + f"elsewhere ({unparse_expr(arm.mask)})")
+            else:
+                out.append(pad + "elsewhere")
+            for inner in arm.body:
+                out.extend(unparse_stmt(inner, depth + 1))
+        out.append(pad + "end where")
+    elif isinstance(stmt, F.DoLoop):
+        header = (f"do {stmt.var} = {unparse_expr(stmt.start)}, "
+                  f"{unparse_expr(stmt.stop)}")
+        if stmt.step is not None:
+            header += f", {unparse_expr(stmt.step)}"
+        out.append(pad + header)
+        for s in stmt.body:
+            out.extend(unparse_stmt(s, depth + 1))
+        out.append(pad + "end do")
+    elif isinstance(stmt, F.DoWhile):
+        out.append(pad + f"do while ({unparse_expr(stmt.cond)})")
+        for s in stmt.body:
+            out.extend(unparse_stmt(s, depth + 1))
+        out.append(pad + "end do")
+    elif isinstance(stmt, F.ExitStmt):
+        out.append(pad + "exit")
+    elif isinstance(stmt, F.CycleStmt):
+        out.append(pad + "cycle")
+    elif isinstance(stmt, F.ReturnStmt):
+        out.append(pad + "return")
+    elif isinstance(stmt, F.StopStmt):
+        kw = "error stop" if stmt.is_error else "stop"
+        if stmt.message is not None:
+            out.append(pad + f"{kw} '{stmt.message}'")
+        elif stmt.code is not None:
+            out.append(pad + f"{kw} {unparse_expr(stmt.code)}")
+        else:
+            out.append(pad + kw)
+    elif isinstance(stmt, F.PrintStmt):
+        if stmt.items:
+            out.append(pad + "print *, " + ", ".join(unparse_expr(i) for i in stmt.items))
+        else:
+            out.append(pad + "print *")
+    elif isinstance(stmt, F.AllocateStmt):
+        items = []
+        for ap in stmt.items:
+            dims = []
+            for a in ap.args:
+                if isinstance(a, F.RangeExpr):
+                    dims.append(f"{unparse_expr(a.lo)}:{unparse_expr(a.hi)}")
+                else:
+                    dims.append(unparse_expr(a))
+            items.append(f"{ap.name}({', '.join(dims)})")
+        out.append(pad + "allocate(" + ", ".join(items) + ")")
+    elif isinstance(stmt, F.DeallocateStmt):
+        out.append(pad + "deallocate(" + ", ".join(stmt.names) + ")")
+    else:
+        raise ReproError(f"cannot unparse statement node {type(stmt).__name__}")
+    return out
+
+
+def _unparse_procedure(proc: F.ProcedureUnit, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    out: list[str] = []
+    args = ", ".join(proc.args)
+    if isinstance(proc, F.Function):
+        prefix = ""
+        if proc.prefix_spec is not None:
+            prefix = _type_spec(proc.prefix_spec) + " "
+        header = f"{prefix}function {proc.name}({args})"
+        if proc.result_name is not None:
+            header += f" result({proc.result_name})"
+        out.append(pad + header)
+        end_kw = "function"
+    elif isinstance(proc, F.Subroutine):
+        out.append(pad + f"subroutine {proc.name}({args})")
+        end_kw = "subroutine"
+    else:  # MainProgram
+        out.append(pad + f"program {proc.name}")
+        end_kw = "program"
+    for d in proc.decls:
+        out.extend(unparse_stmt(d, depth + 1))
+    for s in proc.body:
+        out.extend(unparse_stmt(s, depth + 1))
+    if proc.contains:
+        out.append(pad + "contains")
+        for sub in proc.contains:
+            out.extend(_unparse_procedure(sub, depth + 1))
+    out.append(pad + f"end {end_kw} {proc.name}")
+    return out
+
+
+def unparse(node: F.Node) -> str:
+    """Render *node* (a SourceFile, Module, or procedure) as source text."""
+    if isinstance(node, F.SourceFile):
+        chunks: list[str] = []
+        for unit in node.units:
+            chunks.append(unparse(unit))
+        return "\n\n".join(chunks) + "\n"
+    if isinstance(node, F.Module):
+        out = [f"module {node.name}"]
+        for d in node.decls:
+            out.extend(unparse_stmt(d, 1))
+        if node.procedures:
+            out.append("contains")
+            for proc in node.procedures:
+                out.extend(_unparse_procedure(proc, 1))
+        out.append(f"end module {node.name}")
+        return "\n".join(out)
+    if isinstance(node, F.ProcedureUnit):
+        return "\n".join(_unparse_procedure(node, 0))
+    if isinstance(node, F.Stmt):
+        return "\n".join(unparse_stmt(node, 0))
+    if isinstance(node, F.Expr):
+        return unparse_expr(node)
+    raise ReproError(f"cannot unparse node {type(node).__name__}")

@@ -1,0 +1,208 @@
+"""Mixed-precision parameter-passing wrappers (paper Figure 4).
+
+The Fortran standard performs implicit precision conversion *only via the
+assignment operator*, so after declarations are retyped, any call site
+whose actual argument kinds no longer match the callee's dummy kinds is
+illegal Fortran.  The paper's tool restores legality by generating
+wrappers:
+
+.. code-block:: fortran
+
+    function fun_wrapper_4_to_8(x) result(output)
+      real(kind=4) :: x, output
+      real(kind=8) :: x_temp
+      x_temp = x
+      output = fun(x_temp)
+    end function fun_wrapper_4_to_8
+
+In precision-flow-graph terms (Section III-C): inserting the wrapper
+adds a node for ``x_temp``, replaces the *mismatching* edge between the
+actual and ``x`` with matching edges through ``x_temp``, and so restores
+the invariant that adjacent nodes carry the same precision annotation.
+
+:func:`generate_wrappers` scans every call site of a (retyped) program,
+groups mismatched sites by their actual-kind signature, emits one wrapper
+per (callee, signature), rewrites the call sites to target the wrapper,
+and appends the wrappers to the callee's module.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..errors import TransformError
+from . import ast_nodes as F
+from .callgraph import build_graphs
+from .kinds import infer_kind
+from .symbols import ProgramIndex, Symbol
+
+__all__ = ["generate_wrappers", "wrapper_name"]
+
+
+def wrapper_name(callee: str, actual_kinds: list[int | None],
+                 dummy_kinds: list[int | None]) -> str:
+    """Fig.-4-style name: ``fun_wrapper_4_to_8`` (mismatched reals only)."""
+    froms = []
+    tos = []
+    for ak, dk in zip(actual_kinds, dummy_kinds):
+        if ak is not None and dk is not None and ak != dk:
+            froms.append(str(ak))
+            tos.append(str(dk))
+    return f"{callee}_wrapper_{'_'.join(froms)}_to_{'_'.join(tos)}"
+
+
+def _clone_dims(dims: list[F.ArrayDim] | None) -> list[F.ArrayDim] | None:
+    if dims is None:
+        return None
+    return copy.deepcopy(dims)
+
+
+def _decl(name: str, kind: int, dims: list[F.ArrayDim] | None = None,
+          intent: str | None = None) -> F.TypeDecl:
+    return F.TypeDecl(
+        spec=F.TypeSpec(base="real", kind=F.IntLit(value=kind)),
+        intent=intent,
+        entities=[F.EntityDecl(name=name, dims=_clone_dims(dims))],
+    )
+
+
+def _build_wrapper(callee_proc: F.ProcedureUnit, callee_scope_name: str,
+                   callee_syms: dict[str, Symbol],
+                   actual_kinds: list[int | None],
+                   name: str) -> F.ProcedureUnit:
+    """Construct the wrapper procedure node."""
+    is_function = isinstance(callee_proc, F.Function)
+    args = list(callee_proc.args)
+    decls: list[F.Stmt] = [F.ImplicitNone()]
+    pre: list[F.Stmt] = []
+    post: list[F.Stmt] = []
+    call_args: list[F.Expr] = []
+
+    for arg, ak in zip(args, actual_kinds):
+        sym = callee_syms[arg]
+        if sym.type_ != "real" or ak is None or ak == sym.kind:
+            # Pass-through argument: declare exactly as the callee does.
+            if sym.decl is not None:
+                d = copy.copy(sym.decl)
+                ent = F.EntityDecl(name=arg, dims=_clone_dims(
+                    sym.entity.dims if sym.entity is not None else None))
+                d.entities = [ent]
+                d.attrs = [a for a in sym.decl.attrs if a != "parameter"]
+                d.dims = _clone_dims(sym.decl.dims)
+                d.spec = copy.deepcopy(sym.decl.spec)
+                decls.append(d)
+            call_args.append(F.Name(name=arg))
+            continue
+        assert sym.kind is not None
+        # Mismatched real: declare dummy at the ACTUAL kind, temp at the
+        # callee's kind, convert via assignment.
+        decls.append(_decl(arg, ak, dims=sym.dims, intent=sym.intent))
+        tmp = f"{arg}_temp"
+        decls.append(_decl(tmp, sym.kind, dims=sym.dims))
+        if sym.intent != "out":
+            pre.append(F.Assignment(target=F.Name(name=tmp),
+                                    value=F.Name(name=arg)))
+        # Subroutines write back unless intent(in); function dummies are
+        # treated as read-only unless intent(out/inout) is explicit, which
+        # matches the paper's Fig.-4 wrapper.
+        writes_back = (sym.intent in ("out", "inout")
+                       or (sym.intent is None and not is_function))
+        if writes_back:
+            post.append(F.Assignment(target=F.Name(name=arg),
+                                     value=F.Name(name=tmp)))
+        call_args.append(F.Name(name=tmp))
+
+    if is_function:
+        assert isinstance(callee_proc, F.Function)
+        res_sym = callee_syms[callee_proc.result]
+        # Result kind follows the majority actual kind (Fig. 4 returns the
+        # caller-side kind); ties keep the callee's kind.
+        real_actuals = [k for k in actual_kinds if k is not None]
+        if real_actuals and all(k == real_actuals[0] for k in real_actuals):
+            out_kind = real_actuals[0]
+        else:
+            out_kind = res_sym.kind or 8
+        decls.append(_decl("output", out_kind))
+        body = pre + [
+            F.Assignment(
+                target=F.Name(name="output"),
+                value=F.Apply(name=callee_proc.name, args=call_args),
+            )
+        ] + post
+        return F.Function(name=name, args=args, result_name="output",
+                          decls=decls, body=body)
+    body = pre + [F.CallStmt(name=callee_proc.name, args=call_args)] + post
+    return F.Subroutine(name=name, args=args, decls=decls, body=body)
+
+
+def generate_wrappers(ast: F.SourceFile, index: ProgramIndex) -> list[str]:
+    """Insert wrappers for every mismatched call site; returns their names.
+
+    Mutates *ast* in place.  The caller should re-analyze afterwards.
+    """
+    graphs = build_graphs(index)
+    # (callee_scope, signature) -> wrapper name
+    made: dict[tuple[str, tuple], str] = {}
+    new_procs: dict[str, list[F.ProcedureUnit]] = {}
+
+    for site in graphs.sites:
+        callee_scope = index.scopes[site.callee]
+        callee_proc = callee_scope.node
+        assert isinstance(callee_proc, F.ProcedureUnit)
+
+        actual_kinds: list[int | None] = []
+        mismatch = False
+        node = site.node
+        args = node.args if isinstance(node, (F.CallStmt, F.Apply)) else []
+        for actual, dummy_name in zip(args, callee_proc.args):
+            dummy = callee_scope.symbols[dummy_name]
+            if dummy.type_ != "real":
+                actual_kinds.append(None)
+                continue
+            ak = infer_kind(actual, index, site.caller)
+            actual_kinds.append(ak)
+            if ak is not None and dummy.kind is not None and ak != dummy.kind:
+                mismatch = True
+        if not mismatch:
+            continue
+
+        sig = (site.callee, tuple(actual_kinds))
+        wname = made.get(sig)
+        if wname is None:
+            dummy_kinds = [
+                callee_scope.symbols[a].kind
+                if callee_scope.symbols[a].type_ == "real" else None
+                for a in callee_proc.args
+            ]
+            wname = wrapper_name(callee_proc.name, actual_kinds, dummy_kinds)
+            # Disambiguate if two signatures collapse to the same name.
+            base = wname
+            serial = 1
+            while any(wname == w for w in made.values()):
+                serial += 1
+                wname = f"{base}_{serial}"
+            wrapper = _build_wrapper(callee_proc, site.callee,
+                                     callee_scope.symbols, actual_kinds,
+                                     wname)
+            made[sig] = wname
+            module_name, _, _ = site.callee.rpartition("::")
+            new_procs.setdefault(module_name, []).append(wrapper)
+
+        # Rewrite the call site to target the wrapper.
+        if isinstance(node, (F.CallStmt, F.Apply)):
+            node.name = wname
+        else:  # pragma: no cover - defensive
+            raise TransformError("unexpected call-site node type")
+
+    for module_name, procs in new_procs.items():
+        placed = False
+        for unit in ast.units:
+            if isinstance(unit, F.Module) and unit.name == module_name:
+                unit.procedures.extend(procs)
+                placed = True
+                break
+        if not placed:
+            # Callee is a top-level procedure: append wrappers top level.
+            ast.units.extend(procs)
+
+    return list(made.values())

@@ -1,0 +1,18 @@
+"""Weather/climate model miniatures targeted by the case study.
+
+Each case bundles Fortran source, hotspot definition, workload,
+correctness criterion, thresholds, and noise characteristics — the full
+experimental setup of paper Section IV-A for one model.
+"""
+
+from .adcirc import AdcircCase
+from .base import ModelCase, RunArtifacts
+from .funarc import FunarcCase
+from .mom6 import Mom6Case
+from .mpas import MpasCase
+from .registry import MODEL_FACTORIES, get_model, paper_table1_rows
+
+__all__ = [
+    "AdcircCase", "ModelCase", "RunArtifacts", "FunarcCase", "Mom6Case",
+    "MpasCase", "MODEL_FACTORIES", "get_model", "paper_table1_rows",
+]

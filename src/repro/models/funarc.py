@@ -1,0 +1,109 @@
+"""The funarc motivating example (paper §II-B, Figures 2–3).
+
+funarc computes the arc length of the function
+``fun(x) = x + sum_k sin(2^k x) / 2^k`` over ``[0, pi]`` — Bailey's
+classic example for precision/performance trade-offs.  Eight FP variable
+declarations (``result`` is excluded, as in the paper) give a 2^8 = 256
+variant design space, small enough for brute force.
+
+The paper's observations that this example must reproduce:
+
+* the uniform 32-bit variant is ~1.3–1.4x faster (scalar code: the gain
+  comes from single-precision ``sin``/divide and cache, not vector width);
+* an optimal frontier exists; the variant that keeps only the
+  accumulator ``s1`` in 64-bit is nearly as fast as uniform 32-bit with
+  several-fold less error (Figure 3's diff);
+* a majority of mixed variants are worse than the 64-bit baseline on
+  *both* axes, due to casting overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fortran.interpreter import Interpreter, OutBox
+from .base import ModelCase
+from ..core.metrics import relative_error
+
+__all__ = ["FunarcCase", "FUNARC_SOURCE"]
+
+FUNARC_SOURCE = """
+module funarc_mod
+  implicit none
+contains
+
+  function fun(x) result(t1)
+    implicit none
+    real(kind=8) :: x, t1, d1
+    d1 = 1.0d0
+    t1 = x
+    do while (d1 <= 100.0d0)
+      t1 = t1 + sin(d1 * x) / d1
+      d1 = 2.0d0 * d1
+    end do
+  end function fun
+
+  subroutine funarc(n, result)
+    implicit none
+    integer :: n
+    real(kind=8), intent(out) :: result
+    real(kind=8) :: s1, h, t1, t2, dppi
+    integer :: i
+    t1 = -1.0d0
+    dppi = acos(t1)
+    s1 = 0.0d0
+    t1 = 0.0d0
+    h = dppi / n
+    do i = 1, n
+      t2 = fun(i * h)
+      s1 = s1 + sqrt(h * h + (t2 - t1) ** 2)
+      t1 = t2
+    end do
+    result = s1
+  end subroutine funarc
+
+end module funarc_mod
+"""
+
+
+class FunarcCase(ModelCase):
+    name = "funarc"
+    paper_module = "funarc"
+    description = "Arc-length motivating example (256-variant brute force)"
+
+    source = FUNARC_SOURCE
+    hotspot_scopes = ("funarc_mod",)
+    hotspot_proc_names = ("funarc", "fun")
+
+    # The paper's worked example uses a 4e-4 error budget at n = 10^6
+    # evaluation points; funarc's dominant fp32 error (the i*h phase
+    # error) grows linearly in n, so the threshold scales with the
+    # miniature workload (set in __init__).
+    error_threshold = 4.0e-4
+    noise_rsd = 0.01
+    n_runs = 1
+    perf_scope = "hotspot"
+
+    nominal_runtime_seconds = 5.0
+    compile_seconds = 10.0
+    mpi_ranks = 1
+
+    #: ``result`` is excluded from the search, as in the paper.
+    excluded_atom_names = ("funarc_mod::funarc::result",)
+
+    PAPER_N = 1_000_000
+
+    def __init__(self, n: int = 400, error_threshold: float | None = None):
+        self.n = n
+        if error_threshold is None:
+            error_threshold = 4.0e-4 * n / self.PAPER_N
+        self.error_threshold = error_threshold
+
+    def _drive(self, interp: Interpreter) -> np.ndarray:
+        box = OutBox(None)
+        interp.call("funarc", [self.n, box])
+        return np.asarray([float(box.value)], dtype=np.float64)
+
+    def correctness_error(self, baseline: np.ndarray,
+                          variant: np.ndarray) -> float:
+        return relative_error(float(baseline[0]), float(variant[0]))

@@ -1,0 +1,358 @@
+"""MPAS-A miniature: the ``atm_time_integration`` hotspot (Table I row 1).
+
+A 1-D periodic, split-explicit nonhydrostatic-style dynamical core that
+preserves the structure the paper's MPAS-A analysis hinges on:
+
+* ``atm_compute_dyn_tend_work`` — large-timestep advective/diffusive
+  tendencies computed per cell with calls to the small, *inlinable*
+  ``flux3``/``flux4`` functions (3rd/4th-order MPAS transport fluxes);
+  the loop auto-vectorizes as long as the flux interfaces stay uniform.
+  Precision mismatches at the flux interfaces force Fig.-4 wrappers,
+  which prevent inlining and devectorize the loop — the paper's observed
+  flux-function "critical slowdown" (0.03–0.1x per call) and the
+  mid-cluster casting overhead.
+* ``atm_advance_acoustic_step_work`` — forward-backward acoustic
+  substeps with divergence damping (``smdiv``) and off-centering
+  (``epssm``), written in whole-array form (vectorizes by construction).
+* ``atm_recover_large_step_variables_work`` — recombines perturbation
+  and base-state quantities; its big+small cancellations
+  (``rtheta_base + rtheta_pp``) are the precision-sensitive step.
+* a physics module and a 64-bit driver around the hotspot; the driver
+  holds the model state, so lowering the hotspot's array dummies incurs
+  per-call boundary casts in the *driver* — invisible to the
+  hotspot-guided search (Figure 5) but fatal to whole-model performance
+  (Figure 7), exactly criterion (3) of the Lessons Learned.
+
+Correctness (paper §IV-A): kinetic energy at each cell; per step the
+most extreme relative error across cells; L2 norm over time.  The
+threshold is set from the measured double-vs-single gap of this
+miniature, mirroring how the paper derived its 1.4e2 threshold from the
+released 32-bit MPAS-A build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fortran.interpreter import Interpreter, make_array
+from ..core.metrics import l2_over_axis
+from .base import ModelCase
+
+__all__ = ["MpasCase", "MPAS_SOURCE"]
+
+MPAS_SOURCE = """
+module atm_time_integration
+  implicit none
+  real(kind=8) :: rgas, cp, gravity, p0
+  real(kind=8) :: smdiv, epssm, cf1, cf2, cf3, coef_3rd_order
+contains
+
+  subroutine atm_srk3_init()
+    implicit none
+    rgas = 287.0d0
+    cp = 1004.5d0
+    gravity = 9.80616d0
+    p0 = 100000.0d0
+    smdiv = 0.1d0
+    epssm = 0.1d0
+    cf1 = 2.0d0
+    cf2 = -1.0d0
+    cf3 = 0.0d0
+    coef_3rd_order = 0.25d0
+  end subroutine atm_srk3_init
+
+  function flux4(q_im2, q_im1, q_i, q_ip1, ua) result(flux)
+    implicit none
+    real(kind=8) :: q_im2, q_im1, q_i, q_ip1, ua, flux
+    flux = ua * (7.0 * (q_i + q_im1) - (q_ip1 + q_im2)) / 12.0
+  end function flux4
+
+  function flux3(q_im2, q_im1, q_i, q_ip1, ua) result(flux)
+    implicit none
+    real(kind=8) :: q_im2, q_im1, q_i, q_ip1, ua, flux
+    real(kind=8) :: fq4, correction
+    fq4 = flux4(q_im2, q_im1, q_i, q_ip1, ua)
+    correction = abs(ua) * ((q_ip1 - q_im2) - 3.0 * (q_i - q_im1)) / 12.0
+    flux = fq4 + coef_3rd_order * correction
+  end function flux3
+
+  subroutine atm_compute_dyn_tend_work(ncells, nlev, dx, dt, u, theta_pp, &
+      rho_pp, zgrid, cqu, rdzw, fzm, tend_u, tend_theta, tend_rho)
+    implicit none
+    integer :: ncells, nlev, i, im1, im2, ip1, ip2
+    real(kind=8) :: dx, dt
+    real(kind=8), dimension(ncells) :: u, theta_pp, rho_pp
+    real(kind=8), dimension(ncells, nlev) :: zgrid, cqu, rdzw, fzm
+    real(kind=8), dimension(ncells) :: tend_u, tend_theta, tend_rho
+    real(kind=8) :: ue, uw, flux_e, flux_w, qe, qw
+    real(kind=8) :: ru_e, ru_w, rdx, kdiff, k4diff
+    real(kind=8) :: adv_theta, adv_u, adv_rho, diff_theta, diff_u
+    real(kind=8) :: d2t_m, d2t_p, d4_theta, d2u_m, d2u_p, d4_u
+    real(kind=8) :: smag, dudx, defor, buoy, rayleigh, u_ref, strat
+    rdx = 1.0 / dx
+    kdiff = 0.03d0 * dx * dx / dt
+    k4diff = 0.012d0 * dx * dx * dx * dx / dt
+    rayleigh = 1.0d-5
+    u_ref = 10.0d0
+    strat = 3.06d-3
+    do i = 1, ncells
+      im1 = i - 1
+      if (im1 < 1) im1 = im1 + ncells
+      im2 = i - 2
+      if (im2 < 1) im2 = im2 + ncells
+      ip1 = i + 1
+      if (ip1 > ncells) ip1 = ip1 - ncells
+      ip2 = i + 2
+      if (ip2 > ncells) ip2 = ip2 - ncells
+      ue = 0.5 * (u(i) + u(ip1)) * cqu(i, 1)
+      uw = 0.5 * (u(im1) + u(i)) * cqu(im1, 1)
+      flux_e = flux3(theta_pp(im1), theta_pp(i), theta_pp(ip1), theta_pp(ip2), ue)
+      flux_w = flux3(theta_pp(im2), theta_pp(im1), theta_pp(i), theta_pp(ip1), uw)
+      adv_theta = -(flux_e - flux_w) * rdx
+      diff_theta = kdiff * (theta_pp(ip1) - 2.0 * theta_pp(i) + theta_pp(im1)) * rdx * rdx
+      tend_theta(i) = adv_theta + diff_theta
+      qe = flux4(u(im1), u(i), u(ip1), u(ip2), ue)
+      qw = flux4(u(im2), u(im1), u(i), u(ip1), uw)
+      adv_u = -(qe - qw) * rdx
+      diff_u = kdiff * (u(ip1) - 2.0 * u(i) + u(im1)) * rdx * rdx
+      tend_u(i) = adv_u + diff_u
+      ru_e = 0.5 * (rho_pp(i) + rho_pp(ip1)) * ue
+      ru_w = 0.5 * (rho_pp(im1) + rho_pp(i)) * uw
+      adv_rho = -(ru_e - ru_w) * rdx
+      tend_rho(i) = adv_rho
+      d2t_m = theta_pp(i) - 2.0 * theta_pp(im1) + theta_pp(im2)
+      d2t_p = theta_pp(ip2) - 2.0 * theta_pp(ip1) + theta_pp(i)
+      d4_theta = d2t_p - 2.0 * (theta_pp(ip1) - 2.0 * theta_pp(i) + theta_pp(im1)) + d2t_m
+      tend_theta(i) = tend_theta(i) - k4diff * d4_theta * rdx * rdx * rdx * rdx
+      tend_theta(i) = tend_theta(i) - strat * (u(i) - u_ref)
+      d2u_m = u(i) - 2.0 * u(im1) + u(im2)
+      d2u_p = u(ip2) - 2.0 * u(ip1) + u(i)
+      d4_u = d2u_p - 2.0 * (u(ip1) - 2.0 * u(i) + u(im1)) + d2u_m
+      dudx = (u(ip1) - u(im1)) * 0.5 * rdx * rdzw(i, 1)
+      defor = dudx * dudx
+      smag = 0.25 * (zgrid(i, 2) - zgrid(i, 1)) * dx * sqrt(defor + 1.0e-12)
+      buoy = gravity * theta_pp(i) * fzm(i, 1) / 300.0
+      tend_u(i) = tend_u(i) + buoy - k4diff * d4_u * rdx * rdx * rdx * rdx
+      tend_u(i) = tend_u(i) + smag * (u(ip1) - 2.0 * u(i) + u(im1)) * rdx * rdx
+      tend_u(i) = tend_u(i) - rayleigh * (u(i) - u_ref)
+    end do
+  end subroutine atm_compute_dyn_tend_work
+
+  subroutine atm_advance_acoustic_step_work(ncells, nlev, dts, dx, u, &
+      rtheta_pp, rho_pp, ws, zz, cofwz, coftz, a_tri)
+    implicit none
+    integer :: ncells, ks, nm1, nm2
+    real(kind=8) :: dts, dx
+    real(kind=8), dimension(ncells) :: u, rtheta_pp, rho_pp, ws
+    real(kind=8), dimension(ncells, nlev) :: zz, cofwz, coftz, a_tri
+    real(kind=8), dimension(ncells) :: dpgrad, divu, rt_old
+    real(kind=8) :: c2, cu, rdx, dtsub
+    integer :: nlev
+    nm1 = ncells - 1
+    nm2 = ncells - 2
+    c2 = 300.0
+    cu = rgas * 300.0 / p0 * 350.0
+    rdx = 1.0 / dx
+    dtsub = dts / 4.0
+    do ks = 1, 4
+      rt_old(:) = rtheta_pp(:)
+      dpgrad(2:nm1) = (rtheta_pp(3:ncells) - rtheta_pp(1:nm2)) * 0.5 * rdx
+      dpgrad(1) = (rtheta_pp(2) - rtheta_pp(ncells)) * 0.5 * rdx
+      dpgrad(ncells) = (rtheta_pp(1) - rtheta_pp(nm1)) * 0.5 * rdx
+      u(:) = u(:) - dtsub * cu * dpgrad(:) * zz(1:ncells, 1)
+      divu(2:nm1) = (u(3:ncells) - u(1:nm2)) * 0.5 * rdx
+      divu(1) = (u(2) - u(ncells)) * 0.5 * rdx
+      divu(ncells) = (u(1) - u(nm1)) * 0.5 * rdx
+      rtheta_pp(:) = rt_old(:) - dtsub * c2 * divu(:) * (1.0 + rho_pp(:)) &
+          * cofwz(1:ncells, 1)
+      rtheta_pp(:) = rtheta_pp(:) - smdiv * (rtheta_pp(:) - rt_old(:))
+      ws(:) = ws(:) + epssm * (rtheta_pp(:) - rt_old(:)) * coftz(1:ncells, 1) &
+          * a_tri(1:ncells, 1)
+    end do
+  end subroutine atm_advance_acoustic_step_work
+
+  subroutine atm_recover_large_step_variables_work(ncells, nlev, rtheta_pp, &
+      rho_pp, theta_pp, ws, rho_zz, wwavg)
+    implicit none
+    integer :: ncells, nlev
+    real(kind=8), dimension(ncells) :: rtheta_pp, rho_pp, theta_pp, ws
+    real(kind=8), dimension(ncells, nlev) :: rho_zz, wwavg
+    real(kind=8), dimension(ncells) :: rtheta_full, rho_full, theta_full
+    real(kind=8) :: theta_base, rho_base, rtheta_base, relax
+    theta_base = 300.0
+    rho_base = 1.0
+    rtheta_base = theta_base * rho_base
+    relax = 0.125
+    rho_full(:) = rho_base + rho_pp(:) * rho_zz(1:ncells, 1)
+    rtheta_full(:) = rtheta_base + rtheta_pp(:)
+    theta_full(:) = rtheta_full(:) / rho_full(:)
+    theta_pp(:) = theta_pp(:) + relax * (theta_full(:) - theta_base - theta_pp(:))
+    wwavg(1:ncells, 1) = wwavg(1:ncells, 1) * 0.9 + 0.1 * ws(:)
+    theta_pp(:) = theta_pp(:) + 0.02 * ws(:) * rho_zz(1:ncells, 1)
+    ws(:) = ws(:) * (1.0 - epssm)
+  end subroutine atm_recover_large_step_variables_work
+
+end module atm_time_integration
+
+module mpas_physics
+  implicit none
+contains
+
+  subroutine physics_tendencies(ncells, nwork, theta_pp, rho_pp, u, t_phys)
+    implicit none
+    integer :: ncells, nwork, k
+    real(kind=8), dimension(ncells) :: theta_pp, rho_pp, u, t_phys
+    real(kind=8), dimension(ncells) :: work1, work2
+    real(kind=8) :: tau
+    tau = 900.0d0
+    t_phys(:) = -theta_pp(:) / tau
+    do k = 1, nwork
+      work1(:) = exp(-abs(theta_pp(:)) * 0.01d0) + sin(u(:) * 0.001d0)
+      work2(:) = sqrt(rho_pp(:) * rho_pp(:) + 1.0d0) + log(work1(:) + 2.0d0)
+      t_phys(:) = t_phys(:) + (work1(:) - work2(:)) * 1.0d-7
+    end do
+  end subroutine physics_tendencies
+
+end module mpas_physics
+
+module mpas_driver
+  use atm_time_integration
+  use mpas_physics
+  implicit none
+contains
+
+  subroutine run_mpas(ncells, nlev, nsteps, nwork, ke_out)
+    implicit none
+    integer :: ncells, nlev, nsteps, nwork, istep, istage, i, k
+    real(kind=8), dimension(:, :) :: ke_out
+    real(kind=8), dimension(ncells) :: u, theta_pp, rho_pp, rtheta_pp, ws
+    real(kind=8), dimension(ncells) :: u1, theta1, rho1
+    real(kind=8), dimension(ncells) :: tend_u, tend_theta, tend_rho, t_phys
+    real(kind=8), dimension(ncells, nlev) :: zgrid, cqu, rdzw, fzm
+    real(kind=8), dimension(ncells, nlev) :: zz, cofwz, coftz, a_tri
+    real(kind=8), dimension(ncells, nlev) :: rho_zz, wwavg
+    real(kind=8) :: dx, dt, x, pi, rk_coef
+    call atm_srk3_init()
+    pi = acos(-1.0d0)
+    dx = 1000.0d0
+    dt = 4.0d0
+    do i = 1, ncells
+      x = (i - 1) * 2.0d0 * pi / ncells
+      u(i) = 10.0d0 + 2.0d0 * sin(x)
+      theta_pp(i) = 1.5d0 * exp(-8.0d0 * (x / pi - 1.0d0) ** 2)
+      rho_pp(i) = 0.001d0 * cos(x)
+      rtheta_pp(i) = 0.5d0 * theta_pp(i)
+      ws(i) = 0.0d0
+      do k = 1, nlev
+        zgrid(i, k) = 1000.0d0 * (k - 1) + dx
+        cqu(i, k) = 1.0d0
+        rdzw(i, k) = 1.0d0
+        fzm(i, k) = 1.0d0
+        zz(i, k) = 1.0d0
+        cofwz(i, k) = 1.0d0
+        coftz(i, k) = 1.0d0
+        a_tri(i, k) = 1.0d0
+        rho_zz(i, k) = 1.0d0
+        wwavg(i, k) = 0.0d0
+      end do
+    end do
+    do istep = 1, nsteps
+      call physics_tendencies(ncells, nwork, theta_pp, rho_pp, u, t_phys)
+      u1(:) = u(:)
+      theta1(:) = theta_pp(:)
+      rho1(:) = rho_pp(:)
+      do istage = 1, 3
+        call atm_compute_dyn_tend_work(ncells, nlev, dx, dt, u1, theta1, &
+            rho1, zgrid, cqu, rdzw, fzm, tend_u, tend_theta, tend_rho)
+        rk_coef = dt / (4.0d0 - istage)
+        u1(:) = u(:) + rk_coef * tend_u(:)
+        theta1(:) = theta_pp(:) + rk_coef * (tend_theta(:) + t_phys(:))
+        rho1(:) = rho_pp(:) + rk_coef * tend_rho(:)
+        call atm_advance_acoustic_step_work(ncells, nlev, rk_coef, dx, u1, &
+            rtheta_pp, rho1, ws, zz, cofwz, coftz, a_tri)
+      end do
+      call atm_recover_large_step_variables_work(ncells, nlev, rtheta_pp, &
+          rho1, theta1, ws, rho_zz, wwavg)
+      u(:) = u1(:)
+      theta_pp(:) = theta1(:)
+      rho_pp(:) = rho1(:)
+      do i = 1, ncells
+        ke_out(istep, i) = 0.5d0 * (1.0d0 + rho_pp(i)) * u(i) * u(i)
+      end do
+    end do
+  end subroutine run_mpas
+
+end module mpas_driver
+"""
+
+
+class MpasCase(ModelCase):
+    name = "mpas-a"
+    paper_module = "atm_time_integration"
+    description = ("Atmosphere dynamical-core hotspot: RK3 tendencies with "
+                   "flux3/flux4, acoustic substeps, variable recovery")
+
+    source = MPAS_SOURCE
+    hotspot_scopes = ("atm_time_integration",)
+    hotspot_proc_names = (
+        "atm_compute_dyn_tend_work",
+        "atm_advance_acoustic_step_work",
+        "atm_recover_large_step_variables_work",
+        "flux3",
+        "flux4",
+    )
+    timed_proc_names = (
+        "atm_compute_dyn_tend_work",
+        "atm_advance_acoustic_step_work",
+        "atm_recover_large_step_variables_work",
+    )
+
+    # Calibrated from the measured hotspot double-vs-single gap of this
+    # miniature (the paper set 1.4e2 the same way from the released
+    # 32-bit model); see tests/test_calibration.py.
+    error_threshold = 1.0e-4
+
+    noise_rsd = 0.01
+    n_runs = 1
+    perf_scope = "hotspot"
+
+    nominal_runtime_seconds = 90.0
+    compile_seconds = 300.0
+    mpi_ranks = 64
+
+    def __init__(self, ncells: int = 16, nlev: int = 8, nsteps: int = 12,
+                 nwork: int = 110,
+                 error_threshold: float | None = None,
+                 perf_scope: str = "hotspot"):
+        self.ncells = ncells
+        self.nlev = nlev
+        self.nsteps = nsteps
+        self.nwork = nwork
+        if error_threshold is not None:
+            self.error_threshold = error_threshold
+        self.perf_scope = perf_scope
+
+    @classmethod
+    def small(cls) -> "MpasCase":
+        """Reduced workload for fast unit tests."""
+        return cls(ncells=12, nlev=4, nsteps=5, nwork=3)
+
+    @classmethod
+    def whole_model(cls, **kwargs) -> "MpasCase":
+        """The Section IV-C configuration: Eq. 1 measured on the whole
+        model (Figure 7)."""
+        return cls(perf_scope="model", **kwargs)
+
+    def _drive(self, interp: Interpreter) -> np.ndarray:
+        ke = make_array((self.nsteps, self.ncells), kind=8)
+        interp.call("run_mpas",
+                    [self.ncells, self.nlev, self.nsteps, self.nwork, ke])
+        return ke.data.copy()
+
+    def correctness_error(self, baseline: np.ndarray,
+                          variant: np.ndarray) -> float:
+        """Most extreme per-cell relative KE error each step, L2 over time."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.abs((baseline - variant) / baseline)
+        per_step = np.max(rel, axis=1)
+        return l2_over_axis(per_step)

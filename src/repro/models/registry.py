@@ -1,0 +1,45 @@
+"""Registry of the case-study model miniatures.
+
+Maps the paper's experiment names to model-case factories, including the
+MPAS-A whole-model variant used for Figure 7 (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .adcirc import AdcircCase
+from .base import ModelCase
+from .funarc import FunarcCase
+from .mom6 import Mom6Case
+from .mpas import MpasCase
+
+__all__ = ["MODEL_FACTORIES", "get_model", "paper_table1_rows"]
+
+MODEL_FACTORIES: dict[str, Callable[[], ModelCase]] = {
+    "funarc": FunarcCase,
+    "mpas-a": MpasCase,
+    "adcirc": AdcircCase,
+    "mom6": Mom6Case,
+    "mpas-a-whole-model": MpasCase.whole_model,
+}
+
+#: Table I as printed in the paper, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "mpas-a": ("atm_time_integration", 0.15, 445),
+    "adcirc": ("itpackv", 0.12, 468),
+    "mom6": ("MOM_continuity_PPM", 0.09, 351),
+}
+
+
+def get_model(name: str) -> ModelCase:
+    try:
+        return MODEL_FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_FACTORIES)}"
+        ) from None
+
+
+def paper_table1_rows() -> dict[str, tuple[str, float, int]]:
+    return dict(PAPER_TABLE1)

@@ -1,0 +1,26 @@
+"""Performance substrate: machine model, cost model, timers, noise.
+
+Replaces native timing on Derecho: the interpreter counts operations
+(:mod:`repro.fortran.instrumentation`), :func:`compute_cost` prices them
+on a calibrated :class:`MachineModel`, :func:`time_execution` renders
+GPTL-style reports, and :class:`NoiseModel` adds the measured run-to-run
+variance that Eq. (1)'s median-of-n metric is designed to tolerate.
+
+The static vectorization analysis lives in
+:mod:`repro.fortran.vectorize` (it is a compiler analysis); it is
+re-exported here because the Lessons-Learned tooling in
+:mod:`repro.analysis` treats it as part of the performance story.
+"""
+
+from ..fortran.vectorize import (LoopVerdict, ProcVecInfo, ProgramVecInfo,
+                                 analyze_program)
+from .costmodel import CostBreakdown, compute_cost
+from .machine import DERECHO, MachineModel
+from .noise import NoiseModel
+from .timers import TimerEntry, TimerReport, time_execution
+
+__all__ = [
+    "LoopVerdict", "ProcVecInfo", "ProgramVecInfo", "analyze_program",
+    "CostBreakdown", "compute_cost", "DERECHO", "MachineModel",
+    "NoiseModel", "TimerEntry", "TimerReport", "time_execution",
+]

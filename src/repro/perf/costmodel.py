@@ -1,0 +1,142 @@
+"""Dynamic cost model: ledger counts → simulated CPU seconds.
+
+This converts one execution's instrumentation
+(:class:`~repro.fortran.instrumentation.Ledger`) into the per-procedure
+CPU times that the paper reads off GPTL.  The conversion is a pure
+function of the ledger and the :class:`~repro.perf.machine.MachineModel`,
+so baseline and variant are priced identically and speedup ratios are
+meaningful.
+
+Inlining interacts with call overhead here: a call to an *inlinable*
+procedure costs nothing as long as the interface kinds match; the moment
+a variant introduces a precision mismatch, every such call pays the full
+out-of-line overhead plus the wrapper's own frame — the mechanism behind
+the paper's flux-function slowdowns ("the extra conversion instructions
+hindered compiler optimizations by preventing function inlining").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..fortran.instrumentation import Ledger
+from .machine import MachineModel
+
+__all__ = ["CostBreakdown", "compute_cost"]
+
+
+def _bare(qualname: str) -> str:
+    return qualname.rpartition("::")[2]
+
+
+@dataclass
+class CostBreakdown:
+    """Priced execution: totals and per-procedure attribution."""
+
+    total_seconds: float = 0.0
+    proc_seconds: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+    proc_calls: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
+    convert_seconds: float = 0.0
+    call_overhead_seconds: float = 0.0
+    allreduce_seconds: float = 0.0
+    timer_overhead_seconds: float = 0.0
+
+    def seconds_for(self, procs: Iterable[str]) -> float:
+        """Total seconds attributed to the given (qualified) procedures."""
+        return sum(self.proc_seconds.get(p, 0.0) for p in procs)
+
+    def seconds_per_call(self, proc: str) -> float:
+        calls = self.proc_calls.get(proc, 0)
+        if calls == 0:
+            return self.proc_seconds.get(proc, 0.0)
+        return self.proc_seconds[proc] / calls
+
+    def share(self, procs: Iterable[str]) -> float:
+        """Fraction of total time spent in *procs* (Table I's %CPU)."""
+        if self.total_seconds == 0.0:
+            return 0.0
+        return self.seconds_for(procs) / self.total_seconds
+
+    def top(self, n: int = 10) -> list[tuple[str, float]]:
+        return sorted(self.proc_seconds.items(), key=lambda kv: -kv[1])[:n]
+
+
+def compute_cost(
+    ledger: Ledger,
+    machine: MachineModel,
+    inlinable: Optional[dict[str, bool]] = None,
+    timed_procs: Optional[set[str]] = None,
+) -> CostBreakdown:
+    """Price a ledger.
+
+    Parameters
+    ----------
+    ledger:
+        Dynamic counts from one interpreted execution.
+    machine:
+        The cost parameters.
+    inlinable:
+        Bare-procedure-name → inlinable flag, from
+        :func:`repro.fortran.vectorize.analyze_program`.  Calls to
+        inlinable procedures with matching interfaces cost nothing.
+    timed_procs:
+        Qualified names of procedures wrapped in GPTL-style timers; each
+        of their calls is charged the instrumentation overhead the paper
+        reports (1-7%).
+    """
+    inlinable = inlinable or {}
+    timed_procs = timed_procs or set()
+    out = CostBreakdown()
+    freq = machine.frequency_hz
+
+    for key, count in ledger.ops.items():
+        cycles = machine.op_cycles(key.opclass, key.kind, key.vec, count)
+        secs = cycles / freq
+        out.proc_seconds[key.proc] += secs
+        out.total_seconds += secs
+        if key.opclass == "convert":
+            out.convert_seconds += secs
+
+    for ck, elements in ledger.boundary_cast_elements.items():
+        # Wrapper copy-in/copy-out streams, attributed to the caller side
+        # (outside the timed callee, like the entry casts).
+        secs = elements * machine.boundary_cast_cycles_per_element / freq
+        out.proc_seconds[ck.caller] += secs
+        out.total_seconds += secs
+        out.convert_seconds += secs
+
+    for ck, (n_calls, n_wrapped) in ledger.calls.items():
+        out.proc_calls[ck.callee] += n_calls
+        callee_bare = _bare(ck.callee)
+        is_inlinable = inlinable.get(callee_bare, False)
+        n_matched = n_calls - n_wrapped
+        cycles = 0.0
+        if not is_inlinable:
+            cycles += n_matched * machine.call_overhead_cycles
+        # A wrapped call is never inlined and pays the wrapper frame too.
+        cycles += n_wrapped * (machine.call_overhead_cycles
+                               + machine.wrapped_call_extra_cycles)
+        if ck.callee in timed_procs:
+            cycles += n_calls * machine.timer_overhead_cycles_per_call
+            out.timer_overhead_seconds += (
+                n_calls * machine.timer_overhead_cycles_per_call / freq)
+        secs = cycles / freq
+        # Call overhead is attributed to the callee, matching how a
+        # GPTL timer around the callee would observe it.
+        out.proc_seconds[ck.callee] += secs
+        out.total_seconds += secs
+        out.call_overhead_seconds += secs
+
+    for proc, (n_events, n_elements) in ledger.allreduce.items():
+        cycles = (n_events * machine.allreduce_latency_cycles
+                  + n_elements * machine.allreduce_per_element_cycles)
+        secs = cycles / freq
+        out.proc_seconds[proc] += secs
+        out.total_seconds += secs
+        out.allreduce_seconds += secs
+
+    return out

@@ -1,0 +1,98 @@
+"""GPTL-style hierarchical timer reporting.
+
+The paper collects hotspot CPU time with the GPTL library.  Here the
+interpreter's ledger already attributes every operation to its
+procedure, so this module provides the GPTL-shaped *view* over a priced
+execution: per-timer call counts, total/average wall time, and percent
+of the run — the data behind Table I's "%CPU Time" column and Figure 6's
+per-procedure speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..fortran.instrumentation import Ledger
+from .costmodel import CostBreakdown, compute_cost
+from .machine import MachineModel
+
+__all__ = ["TimerEntry", "TimerReport", "time_execution"]
+
+
+@dataclass(frozen=True)
+class TimerEntry:
+    """One timed region, GPTL row style."""
+
+    name: str              # qualified procedure name
+    called: int
+    total_seconds: float
+    seconds_per_call: float
+    percent_of_total: float
+
+
+@dataclass
+class TimerReport:
+    """A full GPTL-like report for one execution."""
+
+    total_seconds: float
+    entries: list[TimerEntry] = field(default_factory=list)
+
+    def entry(self, name_suffix: str) -> Optional[TimerEntry]:
+        """Find an entry whose qualified name ends with *name_suffix*."""
+        for e in self.entries:
+            if e.name == name_suffix or e.name.endswith("::" + name_suffix):
+                return e
+        return None
+
+    def share(self, names: Iterable[str]) -> float:
+        """Combined share of total time for the named procedures."""
+        if self.total_seconds == 0:
+            return 0.0
+        total = 0.0
+        for suffix in names:
+            e = self.entry(suffix)
+            if e is not None:
+                total += e.total_seconds
+        return total / self.total_seconds
+
+    def render(self, limit: int = 20) -> str:
+        """ASCII table in the style of GPTL's summary output."""
+        lines = [
+            f"{'name':40s} {'called':>10s} {'total(s)':>12s} "
+            f"{'per-call(s)':>12s} {'%':>6s}",
+            "-" * 84,
+        ]
+        for e in self.entries[:limit]:
+            lines.append(
+                f"{e.name:40s} {e.called:>10d} {e.total_seconds:>12.6e} "
+                f"{e.seconds_per_call:>12.6e} {e.percent_of_total:>6.1f}"
+            )
+        lines.append("-" * 84)
+        lines.append(f"{'TOTAL':40s} {'':>10s} {self.total_seconds:>12.6e}")
+        return "\n".join(lines)
+
+
+def time_execution(
+    ledger: Ledger,
+    machine: MachineModel,
+    inlinable: Optional[dict[str, bool]] = None,
+    timed_procs: Optional[set[str]] = None,
+) -> tuple[TimerReport, CostBreakdown]:
+    """Price *ledger* and return the GPTL-style report plus the raw
+    breakdown."""
+    cost = compute_cost(ledger, machine, inlinable=inlinable,
+                        timed_procs=timed_procs)
+    entries = []
+    for proc, secs in sorted(cost.proc_seconds.items(), key=lambda kv: -kv[1]):
+        called = cost.proc_calls.get(proc, 0)
+        entries.append(TimerEntry(
+            name=proc,
+            called=called,
+            total_seconds=secs,
+            seconds_per_call=secs / called if called else secs,
+            percent_of_total=(100.0 * secs / cost.total_seconds
+                              if cost.total_seconds else 0.0),
+        ))
+    return TimerReport(total_seconds=cost.total_seconds,
+                       entries=entries), cost

@@ -1,0 +1,14 @@
+"""Reporting: Table I/II emitters, figure data series, variant diffs."""
+
+from .diffs import variant_diff, variant_source
+from .figures import (FigureSeries, ScatterPoint, ascii_scatter,
+                      procedure_series, scatter_from_records, to_csv)
+from .tables import (PAPER_TABLE2, Table1Row, render_table1, render_table2,
+                     table1, table2_rows)
+
+__all__ = [
+    "variant_diff", "variant_source", "FigureSeries", "ScatterPoint",
+    "ascii_scatter", "procedure_series", "scatter_from_records", "to_csv",
+    "PAPER_TABLE2", "Table1Row", "render_table1", "render_table2",
+    "table1", "table2_rows",
+]

@@ -1,0 +1,213 @@
+"""Figure data series and ASCII scatter rendering.
+
+The artifact ships interactive Plotly HTML; with no plotting stack here,
+each figure becomes (a) a structured data series suitable for any
+plotting tool (also dumped as CSV) and (b) an ASCII log-log scatter for
+terminal inspection.  Covered figures:
+
+* Figure 2 — funarc brute-force speedup-error scatter + optimal frontier
+* Figure 5 — per-model hotspot-search scatter with threshold lines
+* Figure 6 — per-procedure variant performance (speedup per call)
+* Figure 7 — MPAS-A whole-model-guided scatter
+
+One record per variant (or per unique procedure sub-variant for Fig. 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.classification import Outcome
+from ..core.evaluation import VariantRecord
+from ..core.searchspace import SearchSpace
+
+__all__ = [
+    "ScatterPoint", "FigureSeries", "scatter_from_records",
+    "procedure_series", "ascii_scatter", "to_csv",
+]
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    x: float                     # speedup
+    y: float                     # relative error (Figs 2/5/7) or per-call
+    label: str = ""
+    fraction_lowered: float = 0.0
+    outcome: str = "pass"
+    variant_id: int = -1
+
+
+@dataclass
+class FigureSeries:
+    """One figure panel's data."""
+
+    title: str
+    x_label: str
+    y_label: str
+    points: list[ScatterPoint] = field(default_factory=list)
+    speedup_threshold: Optional[float] = None
+    error_threshold: Optional[float] = None
+
+    def completed_points(self) -> list[ScatterPoint]:
+        return [p for p in self.points if p.outcome in ("pass", "fail")]
+
+
+def scatter_from_records(
+    records: Iterable[VariantRecord],
+    title: str,
+    error_threshold: Optional[float] = None,
+    speedup_threshold: Optional[float] = 1.0,
+) -> FigureSeries:
+    """Figure 2/5/7 panel: speedup vs correctness error per variant."""
+    series = FigureSeries(
+        title=title, x_label="speedup", y_label="relative error",
+        speedup_threshold=speedup_threshold,
+        error_threshold=error_threshold,
+    )
+    for r in records:
+        if r.speedup is None or not math.isfinite(r.error):
+            series.points.append(ScatterPoint(
+                x=float("nan"), y=float("nan"),
+                fraction_lowered=r.fraction_lowered,
+                outcome=r.outcome.value, variant_id=r.variant_id,
+            ))
+            continue
+        series.points.append(ScatterPoint(
+            x=r.speedup, y=max(r.error, 1e-300),
+            fraction_lowered=r.fraction_lowered,
+            outcome=r.outcome.value, variant_id=r.variant_id,
+        ))
+    return series
+
+
+def procedure_series(
+    records: Iterable[VariantRecord],
+    space: SearchSpace,
+    baseline_perf: dict[str, tuple[int, float]],
+    procedures: Iterable[str],
+) -> dict[str, FigureSeries]:
+    """Figure 6: per-procedure speedup of *unique* procedure variants.
+
+    A procedure sub-variant is the restriction of the assignment to the
+    atoms declared in that procedure's scope; records sharing a
+    sub-variant collapse to one marker (the paper plots unique precision
+    assignments per procedure).  Speedup is per-call CPU time vs the
+    baseline, as in the paper's log-scale panels.
+    """
+    atom_index_by_scope: dict[str, list[int]] = {}
+    for i, atom in enumerate(space.atoms):
+        atom_index_by_scope.setdefault(atom.scope, []).append(i)
+
+    out: dict[str, FigureSeries] = {}
+    for proc in procedures:
+        base = baseline_perf.get(proc)
+        if base is None or base[0] == 0:
+            continue
+        base_per_call = base[1] / base[0]
+        sub_idx = atom_index_by_scope.get(proc, [])
+        seen: dict[tuple, ScatterPoint] = {}
+        for r in records:
+            perf = r.proc_perf.get(proc)
+            if perf is None or perf.calls == 0 or base_per_call == 0:
+                continue
+            key = tuple(r.kinds[i] for i in sub_idx)
+            if key in seen:
+                continue
+            frac32 = (sum(1 for k in key if k == 4) / len(key)
+                      if key else 0.0)
+            seen[key] = ScatterPoint(
+                x=base_per_call / perf.seconds_per_call,
+                y=frac32,
+                label=proc.rpartition("::")[2],
+                fraction_lowered=r.fraction_lowered,
+                outcome=r.outcome.value,
+                variant_id=r.variant_id,
+            )
+        series = FigureSeries(
+            title=f"Figure 6 panel: {proc.rpartition('::')[2]}",
+            x_label="speedup (per call, log scale)",
+            y_label="fraction of procedure variables at 32-bit",
+            points=list(seen.values()),
+        )
+        out[proc] = series
+    return out
+
+
+def ascii_scatter(series: FigureSeries, width: int = 68,
+                  height: int = 18, log_x: bool = True,
+                  log_y: bool = True) -> str:
+    """Render a series as an ASCII scatter plot.
+
+    Markers: ``+`` pass, ``x`` fail, ``T`` timeout (completed variants
+    only; runtime errors have no coordinates, matching the paper's
+    figures).  Threshold lines are drawn with ``|`` and ``-``.
+    """
+    pts = [p for p in series.completed_points()
+           if math.isfinite(p.x) and math.isfinite(p.y) and p.x > 0
+           and p.y >= 0]
+    if not pts:
+        return f"{series.title}: no completed variants to plot"
+
+    def tx(v: float) -> float:
+        return math.log10(v) if log_x else v
+
+    def ty(v: float) -> float:
+        return math.log10(max(v, 1e-30)) if log_y else v
+
+    xs = [tx(p.x) for p in pts]
+    ys = [ty(p.y) for p in pts]
+    if series.speedup_threshold:
+        xs.append(tx(series.speedup_threshold))
+    if series.error_threshold:
+        ys.append(ty(series.error_threshold))
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, int((v - x_lo) / x_span * (width - 1))))
+
+    def row(v: float) -> int:
+        return min(height - 1,
+                   max(0, height - 1 - int((v - y_lo) / y_span * (height - 1))))
+
+    if series.speedup_threshold:
+        c = col(tx(series.speedup_threshold))
+        for r in range(height):
+            grid[r][c] = "|"
+    if series.error_threshold:
+        rr = row(ty(series.error_threshold))
+        for c in range(width):
+            grid[rr][c] = "-" if grid[rr][c] == " " else "+"
+
+    marker = {"pass": "+", "fail": "x", "timeout": "T"}
+    for p in pts:
+        grid[row(ty(p.y))][col(tx(p.x))] = marker.get(p.outcome, "?")
+
+    lines = [series.title]
+    lines.append(f"y: {series.y_label} ({'log' if log_y else 'lin'}) "
+                 f"[{10**y_lo:.1e} .. {10**y_hi:.1e}]" if log_y else
+                 f"y: {series.y_label} [{y_lo:.2f} .. {y_hi:.2f}]")
+    lines.extend("".join(r) for r in grid)
+    lines.append(f"x: {series.x_label} ({'log' if log_x else 'lin'}) "
+                 f"[{10**x_lo:.2f} .. {10**x_hi:.2f}]" if log_x else
+                 f"x: {series.x_label} [{x_lo:.2f} .. {x_hi:.2f}]")
+    lines.append("markers: + pass   x fail   T timeout   | speedup=1   "
+                 "- error threshold")
+    return "\n".join(lines)
+
+
+def to_csv(series: FigureSeries) -> str:
+    """Dump a series as CSV (the artifact's raw-data analogue)."""
+    lines = ["variant_id,speedup,error,fraction_lowered,outcome,label"]
+    for p in series.points:
+        lines.append(
+            f"{p.variant_id},{p.x},{p.y},{p.fraction_lowered},"
+            f"{p.outcome},{p.label}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Table I and Table II emitters.
+
+Each function produces both structured rows (for tests and CSV) and a
+rendered ASCII table with the paper's values printed alongside for
+side-by-side comparison, since absolute scales necessarily differ
+between Derecho and the simulated substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.campaign import CampaignSummary
+from ..models.base import ModelCase
+from ..models.registry import paper_table1_rows
+from ..perf.machine import DERECHO, MachineModel
+from ..perf.timers import time_execution
+
+__all__ = ["Table1Row", "table1", "render_table1", "table2_rows",
+           "render_table2", "PAPER_TABLE2"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    model: str
+    module: str
+    cpu_share: float
+    fp_vars: int
+    paper_cpu_share: Optional[float] = None
+    paper_fp_vars: Optional[int] = None
+
+
+#: Table II as printed in the paper.
+PAPER_TABLE2 = {
+    "mpas-a": (48, 37.5, 56.2, 6.3, 0.0, 1.95),
+    "adcirc": (74, 36.4, 33.8, 0.0, 29.7, 1.12),
+    "mom6": (858, 17.2, 31.0, 0.0, 51.7, 1.04),
+}
+
+
+def table1(models: list[ModelCase],
+           machine: MachineModel = DERECHO) -> list[Table1Row]:
+    """Profile each model's workload and compute the hotspot CPU share."""
+    paper = paper_table1_rows()
+    rows = []
+    for model in models:
+        run = model.run(None)
+        report, cost = time_execution(
+            run.ledger, machine,
+            inlinable=model.vec_info.inlinable,
+            timed_procs=model.timed_procedures,
+        )
+        share = cost.share(model.hotspot_procedures)
+        p = paper.get(model.name)
+        rows.append(Table1Row(
+            model=model.name,
+            module=model.paper_module,
+            cpu_share=share,
+            fp_vars=model.atom_count(),
+            paper_cpu_share=p[1] if p else None,
+            paper_fp_vars=p[2] if p else None,
+        ))
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    lines = [
+        "Table I: Summary statistics for targeted hotspots "
+        "(measured | paper)",
+        f"{'Model':10s} {'Targeted Module':22s} {'% CPU Time':>16s} "
+        f"{'# FP Vars':>16s}",
+        "-" * 68,
+    ]
+    for r in rows:
+        share = f"{100 * r.cpu_share:.0f}%"
+        pshare = (f"{100 * r.paper_cpu_share:.0f}%"
+                  if r.paper_cpu_share is not None else "-")
+        pvars = str(r.paper_fp_vars) if r.paper_fp_vars is not None else "-"
+        lines.append(
+            f"{r.model:10s} {r.module:22s} {share + ' | ' + pshare:>16s} "
+            f"{str(r.fp_vars) + ' | ' + pvars:>16s}"
+        )
+    return "\n".join(lines)
+
+
+def table2_rows(summaries: list[CampaignSummary]) -> list[tuple]:
+    return [s.as_row() for s in summaries]
+
+
+def render_table2(summaries: list[CampaignSummary]) -> str:
+    lines = [
+        "Table II: Summary metrics for variants explored "
+        "(measured, with paper values in parentheses)",
+        f"{'Model':10s} {'Total':>12s} {'Pass':>14s} {'Fail':>14s} "
+        f"{'Timeout':>14s} {'Error':>14s} {'Speedup':>16s}",
+        "-" * 100,
+    ]
+    for s in summaries:
+        p = PAPER_TABLE2.get(s.model)
+
+        def cell(value: float, paper_value: Optional[float],
+                 fmt: str = "{:.1f}%") -> str:
+            own = fmt.format(value)
+            if paper_value is None:
+                return own
+            return f"{own} ({fmt.format(paper_value)})"
+
+        total_cell = (f"{s.total} ({p[0]})" if p else str(s.total))
+        lines.append(
+            f"{s.model:10s} {total_cell:>12s} "
+            f"{cell(s.pass_pct, p[1] if p else None):>14s} "
+            f"{cell(s.fail_pct, p[2] if p else None):>14s} "
+            f"{cell(s.timeout_pct, p[3] if p else None):>14s} "
+            f"{cell(s.error_pct, p[4] if p else None):>14s} "
+            f"{cell(s.best_speedup, p[5] if p else None, '{:.2f}x'):>16s}"
+        )
+        if not s.finished:
+            lines.append(f"{'':10s} (search did not finish within the "
+                         "wall-clock budget)")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Static analysis tests: dataflow DAG, tunability criteria, screening,
+clustering — the paper's Lessons Learned as executable checks."""
+
+import pytest
+
+from repro.analysis import (StaticScreen, assess_hotspot, build_dataflow,
+                            cast_arith_ratio, casting_penalty, cluster_atoms,
+                            screen_variant, vectorization_loss)
+from repro.fortran.callgraph import build_graphs
+from repro.models import AdcircCase, Mom6Case, MpasCase
+
+
+@pytest.fixture(scope="module")
+def mpas():
+    return MpasCase.small()
+
+
+@pytest.fixture(scope="module")
+def mpas_flow(mpas):
+    return build_dataflow(mpas.index)
+
+
+class TestDataflow:
+    def test_assignment_edges(self, mpas_flow):
+        g = mpas_flow.graph
+        # flux3: flux = fq4 + coef_3rd_order * correction
+        assert g.has_edge("atm_time_integration::flux3::fq4",
+                          "atm_time_integration::flux3::flux")
+
+    def test_call_edges_annotated(self, mpas_flow):
+        call_edges = mpas_flow.boundary_edges()
+        assert call_edges
+        assert all("caller" in d and "callee" in d
+                   for _, _, d in call_edges)
+
+    def test_flow_closure_connects_flux_chain(self, mpas_flow):
+        closure = mpas_flow.flow_closure(
+            {"atm_time_integration::flux4::flux"})
+        assert "atm_time_integration::flux3::fq4" in closure
+
+    def test_predecessors_successors(self, mpas_flow):
+        succ = mpas_flow.successors_of("atm_time_integration::flux3::fq4")
+        assert "atm_time_integration::flux3::flux" in succ
+        pred = mpas_flow.predecessors_of("atm_time_integration::flux3::flux")
+        assert "atm_time_integration::flux3::fq4" in pred
+
+
+class TestTunability:
+    def test_mpas_profile(self, mpas, mpas_flow):
+        rep = assess_hotspot(mpas.index, mpas.vec_info, mpas_flow,
+                             mpas.hotspot_scopes)
+        # Paper: MPAS-A strong on (1) and (2), weak on (3).
+        assert rep.vectorization_score == 1.0
+        assert rep.internal_flow_score > 0.8
+        assert rep.inbound_flow_score < rep.internal_flow_score
+
+    def test_adcirc_weak_on_vectorization(self):
+        case = AdcircCase.small()
+        flow = build_dataflow(case.index)
+        rep = assess_hotspot(case.index, case.vec_info, flow,
+                             case.hotspot_scopes)
+        assert rep.vectorization_score < 1.0  # pjac does not vectorize
+        assert any("pjac" in f for f in rep.vec_failures)
+
+    def test_mom6_weak_on_internal_flow(self):
+        case = Mom6Case.small()
+        flow = build_dataflow(case.index)
+        rep = assess_hotspot(case.index, case.vec_info, flow,
+                             case.hotspot_scopes)
+        mpas_case = MpasCase.small()
+        mpas_rep = assess_hotspot(mpas_case.index, mpas_case.vec_info,
+                                  build_dataflow(mpas_case.index),
+                                  mpas_case.hotspot_scopes)
+        # MOM6 moves whole layer arrays between its kernels; its internal
+        # flow volume dwarfs MPAS's scalar flux interfaces.
+        assert rep.internal_flow_elements > mpas_rep.internal_flow_elements
+
+    def test_report_renders(self, mpas, mpas_flow):
+        rep = assess_hotspot(mpas.index, mpas.vec_info, mpas_flow,
+                             mpas.hotspot_scopes)
+        text = rep.render()
+        assert "auto-vectorization" in text
+        assert "overall tunability score" in text
+
+
+class TestScreening:
+    @pytest.fixture(scope="class")
+    def graphs(self, mpas):
+        return build_graphs(mpas.index)
+
+    def test_programwide_uniform_no_penalty(self, mpas, graphs):
+        # Lowering every FP variable in the PROGRAM leaves no interface
+        # mismatched.  (Lowering only the hotspot leaves the inbound
+        # driver->hotspot boundary mismatched — criterion 3.)
+        overlay = {s.qualified: 4 for s in mpas.index.fp_symbols()}
+        assert casting_penalty(graphs, overlay) == 0.0
+
+    def test_hotspot_uniform_pays_inbound_penalty(self, mpas, graphs):
+        overlay = {a.qualified: 4 for a in mpas.atoms}
+        assert casting_penalty(graphs, overlay) > 0.0
+
+    def test_mismatched_flux_interface_penalized(self, mpas, graphs):
+        overlay = {a.qualified: 4 for a in mpas.atoms
+                   if "::flux4::" in a.qualified}
+        assert casting_penalty(graphs, overlay) > 0.0
+
+    def test_vectorization_loss_detects_flux_wrap(self, mpas, graphs):
+        overlay = {a.qualified: 4 for a in mpas.atoms
+                   if "::flux4::" in a.qualified}
+        lost = vectorization_loss(mpas.index, mpas.vec_info, graphs, overlay)
+        assert lost >= 1  # the dyn_tend loop loses vectorization
+
+    def test_screen_variant_verdicts(self, mpas, graphs):
+        good = mpas.space.all_single()
+        bad = mpas.space.baseline().with_kinds(
+            {a.qualified: 4 for a in mpas.atoms
+             if "::flux4::" in a.qualified})
+        assert screen_variant(mpas.index, mpas.vec_info, graphs,
+                              good).accepted
+        verdict = screen_variant(mpas.index, mpas.vec_info, graphs, bad)
+        assert not verdict.accepted
+        assert verdict.reasons
+
+    def test_static_screen_batch(self, mpas, graphs):
+        screen = StaticScreen(index=mpas.index, vec_info=mpas.vec_info,
+                              graphs=graphs)
+        bad = mpas.space.baseline().with_kinds(
+            {a.qualified: 4 for a in mpas.atoms
+             if "::flux4::" in a.qualified})
+        kept, verdicts = screen.filter_batch(
+            [mpas.space.all_single(), bad])
+        assert len(kept) == 1
+        assert screen.rejection_rate == 0.5
+
+
+class TestClustering:
+    def test_clusters_partition_atoms(self, mpas, mpas_flow):
+        clusters = cluster_atoms(mpas_flow, mpas.atoms)
+        members = [m for c in clusters for m in c.members]
+        assert sorted(members) == sorted(a.qualified for a in mpas.atoms)
+
+    def test_flow_connected_atoms_grouped(self, mpas, mpas_flow):
+        clusters = cluster_atoms(mpas_flow, mpas.atoms)
+        by_member = {}
+        for c in clusters:
+            for m in c.members:
+                by_member[m] = c
+        # fq4 flows into flux: same cluster.
+        assert by_member["atm_time_integration::flux3::fq4"] is \
+            by_member["atm_time_integration::flux3::flux"]
+
+    def test_cast_arith_ratio_favors_closed_sets(self, mpas, mpas_flow):
+        closed = mpas_flow.flow_closure(
+            {"atm_time_integration::flux4::flux"})
+        closed &= {a.qualified for a in mpas.atoms}
+        half_open = set(list(closed)[: max(1, len(closed) // 2)])
+        assert cast_arith_ratio(mpas_flow, closed) <= cast_arith_ratio(
+            mpas_flow, half_open)

@@ -1,0 +1,79 @@
+"""Campaign orchestration tests: node pool, wall budget, Table-II summary."""
+
+import pytest
+
+from repro.core import (BudgetedOracle, CampaignConfig, DeltaDebugSearch,
+                        Evaluator, Outcome, run_campaign)
+from repro.core.search.base import BudgetExhausted
+from repro.models import FunarcCase
+
+
+@pytest.fixture(scope="module")
+def funarc_campaign():
+    # At this miniature n the fp32 rounding floor (~4e-7) dominates the
+    # linear phase-error scaling, so the threshold is set explicitly.
+    case = FunarcCase(n=150, error_threshold=4.5e-7)
+    return run_campaign(case, CampaignConfig(nodes=20,
+                                             wall_budget_seconds=12 * 3600))
+
+
+class TestBudgetedOracle:
+    def test_wave_scheduling(self, funarc_case, funarc_evaluator):
+        config = CampaignConfig(nodes=2, wall_budget_seconds=1e9)
+        oracle = BudgetedOracle(evaluator=funarc_evaluator, config=config)
+        batch = [funarc_case.space.baseline(),
+                 funarc_case.space.all_single(),
+                 funarc_case.space.baseline().lower_all(
+                     [funarc_case.space.atoms[0].qualified])]
+        records = oracle.evaluate_batch(batch)
+        assert len(records) == 3
+        # 3 variants on 2 nodes = 2 waves; batch time >= 2x the slowest
+        # member would be an overestimate, but >= 1 wave's max for sure.
+        max_single = max(r.eval_wall_seconds for r in records)
+        assert oracle.wall_seconds_used >= max_single
+
+    def test_budget_exhaustion_raises(self, funarc_case, funarc_evaluator):
+        config = CampaignConfig(nodes=20, wall_budget_seconds=1.0)
+        oracle = BudgetedOracle(evaluator=funarc_evaluator, config=config)
+        oracle.evaluate_batch([funarc_case.space.baseline()])
+        with pytest.raises(BudgetExhausted):
+            oracle.evaluate_batch([funarc_case.space.all_single()])
+
+    def test_evaluation_cap(self, funarc_case, funarc_evaluator):
+        config = CampaignConfig(max_evaluations=1, wall_budget_seconds=1e9)
+        oracle = BudgetedOracle(evaluator=funarc_evaluator, config=config)
+        with pytest.raises(BudgetExhausted):
+            oracle.evaluate_batch([funarc_case.space.baseline(),
+                                   funarc_case.space.all_single()])
+
+
+class TestCampaign:
+    def test_summary_percentages(self, funarc_campaign):
+        summary = funarc_campaign.summary()
+        total_pct = (summary.pass_pct + summary.fail_pct +
+                     summary.timeout_pct + summary.error_pct)
+        assert total_pct == pytest.approx(100.0)
+        assert summary.total == len(funarc_campaign.records)
+
+    def test_search_finished_within_budget(self, funarc_campaign):
+        assert funarc_campaign.summary().finished
+        assert funarc_campaign.wall_hours() < 12
+
+    def test_funarc_search_finds_accepted_variant(self, funarc_campaign):
+        best = funarc_campaign.search.best_accepted()
+        assert best is not None
+        assert best.speedup > 1.1
+
+    def test_budget_kills_search(self):
+        # A threshold nothing satisfies forces a long search; a tiny wall
+        # budget must then terminate it unfinished (the MOM6 fate).
+        case = FunarcCase(n=150, error_threshold=1e-12)
+        config = CampaignConfig(wall_budget_seconds=40.0)
+        result = run_campaign(case, config)
+        assert not result.search.finished
+        assert result.summary().finished is False
+
+    def test_batch_log_recorded(self, funarc_campaign):
+        assert funarc_campaign.oracle.batch_log
+        assert all(n > 0 and secs > 0
+                   for n, secs in funarc_campaign.oracle.batch_log)

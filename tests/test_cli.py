@@ -1,0 +1,93 @@
+"""CLI tests: every command end-to-end on the funarc case."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("funarc", "mpas-a", "adcirc", "mom6"):
+            assert name in out
+
+    def test_profile(self, capsys):
+        code, out = run_cli(capsys, "profile", "funarc")
+        assert code == 0
+        assert "hotspot CPU share" in out
+        assert "funarc_mod::fun" in out
+
+    def test_assess(self, capsys):
+        code, out = run_cli(capsys, "assess", "funarc")
+        assert code == 0
+        assert "auto-vectorization" in out
+        assert "overall tunability score" in out
+
+    def test_transform_diff(self, capsys):
+        code, out = run_cli(capsys, "transform", "funarc",
+                            "--lower", "funarc_mod::fun::d1", "--diff")
+        assert code == 0
+        assert "+    real(kind=4) :: d1" in out
+
+    def test_transform_full_source(self, capsys):
+        code, out = run_cli(capsys, "transform", "funarc",
+                            "--lower", "all")
+        assert code == 0
+        assert "real(kind=4)" in out
+        assert "module funarc_mod" in out
+
+    def test_transform_rejects_unknown_atom(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "transform", "funarc", "--lower", "nope::x")
+
+    def test_reduce(self, capsys):
+        code, out = run_cli(capsys, "reduce", "funarc",
+                            "--targets", "funarc_mod::funarc::s1")
+        assert code == 0
+        assert "tainted symbols" in out
+        assert "statement reduction" in out
+
+    def test_tune_funarc(self, capsys, tmp_path):
+        out_path = tmp_path / "records.json"
+        code, out = run_cli(capsys, "tune", "funarc",
+                            "--max-evals", "60",
+                            "--out", str(out_path))
+        assert code == 0
+        assert "1-minimal variant" in out
+        assert "best speedup" in out
+        payload = json.loads(out_path.read_text())
+        assert payload and "outcome" in payload[0]
+
+    def test_tune_random_algorithm(self, capsys):
+        code, out = run_cli(capsys, "tune", "funarc",
+                            "--algorithm", "random",
+                            "--max-evals", "20")
+        assert code == 0
+        assert "variants:" in out
+
+    def test_tune_threshold_override(self, capsys):
+        # A sky-high threshold lets uniform-32 pass immediately.
+        code, out = run_cli(capsys, "tune", "funarc",
+                            "--threshold", "1.0",
+                            "--max-evals", "10")
+        assert code == 0
+        assert "best speedup" in out

@@ -1,0 +1,160 @@
+"""Atoms, assignments, search space, and metrics tests (with properties)."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (PrecisionAssignment, SearchSpace, collect_atoms,
+                        choose_n_runs, median_time, relative_error,
+                        speedup_eq1)
+from repro.errors import SearchError
+from repro.perf import NoiseModel
+
+
+class TestAtoms:
+    def test_collect_all(self, simple_index):
+        atoms = collect_atoms(simple_index)
+        names = {a.qualified for a in atoms}
+        assert "simple::accum" in names
+        assert "simple::square::x" in names
+        assert "simple::accumulate::values" in names
+
+    def test_scope_filter_expands_module(self, simple_index):
+        atoms = collect_atoms(simple_index, scopes={"simple"})
+        assert {a.qualified for a in atoms} >= {
+            "simple::square::x", "simple::accum"}
+
+    def test_procedure_scope_only(self, simple_index):
+        atoms = collect_atoms(simple_index, scopes={"simple::square"})
+        assert {a.name for a in atoms} == {"x", "y"}
+
+    def test_deterministic_order(self, simple_index):
+        a1 = collect_atoms(simple_index)
+        a2 = collect_atoms(simple_index)
+        assert [a.qualified for a in a1] == [a.qualified for a in a2]
+
+    def test_metadata(self, simple_index):
+        atoms = {a.qualified: a for a in collect_atoms(simple_index)}
+        arr = atoms["simple::accumulate::values"]
+        assert arr.is_array and arr.is_argument and arr.rank == 1
+        assert arr.procedure == "accumulate"
+
+
+class TestAssignment:
+    @pytest.fixture()
+    def space(self, simple_index):
+        return SearchSpace(collect_atoms(simple_index))
+
+    def test_baseline_matches_declarations(self, space):
+        base = space.baseline()
+        assert base.fraction_lowered == 0.0  # everything declared 64-bit
+
+    def test_lower_and_raise(self, space):
+        base = space.baseline()
+        name = space.atoms[0].qualified
+        low = base.lower_all([name])
+        assert low.kind_of(name) == 4
+        assert low.fraction_lowered > 0
+        back = low.raise_all([name])
+        assert back.key() == base.key()
+
+    def test_with_kinds_rejects_unknown(self, space):
+        with pytest.raises(SearchError):
+            space.baseline().with_kinds({"nope::x": 4})
+
+    def test_overlay_only_lists_changes(self, space):
+        base = space.baseline()
+        name = space.atoms[1].qualified
+        low = base.lower_all([name])
+        assert low.overlay() == {name: 4}
+
+    def test_diff(self, space):
+        base = space.baseline()
+        name = space.atoms[0].qualified
+        low = base.lower_all([name])
+        assert base.diff(low) == [(name, 8, 4)]
+
+    def test_immutability(self, space):
+        base = space.baseline()
+        base.lower_all([space.atoms[0].qualified])
+        assert base.fraction_lowered == 0.0
+
+
+class TestSearchSpace:
+    def test_size(self, funarc_case):
+        assert funarc_case.space.size == 2 ** 8 == 256
+
+    def test_enumerate_guard(self, mpas_small):
+        with pytest.raises(SearchError):
+            list(mpas_small.space.enumerate(limit=1024))
+
+    def test_enumerate_complete_and_unique(self, funarc_case):
+        keys = {a.key() for a in funarc_case.space.enumerate()}
+        assert len(keys) == 256
+
+    def test_restricted(self, funarc_case):
+        sub = funarc_case.space.restricted({"funarc_mod::fun::d1"})
+        assert len(sub) == 1 and sub.size == 2
+
+    def test_uniform_constructors(self, funarc_case):
+        assert funarc_case.space.all_single().fraction_lowered == 1.0
+        assert funarc_case.space.all_double().fraction_lowered == 0.0
+
+
+class TestMetrics:
+    def test_median_time(self):
+        assert median_time([3.0, 1.0, 2.0]) == 2.0
+
+    def test_speedup_eq1(self):
+        assert speedup_eq1([2.0], [1.0]) == 2.0
+        assert speedup_eq1([1.0, 100.0, 1.0], [1.0]) == 1.0  # median kills outlier
+
+    def test_relative_error_guards(self):
+        assert relative_error(2.0, 1.0) == 0.5
+        assert relative_error(0.0, 3.0) == 3.0
+        assert math.isinf(relative_error(1.0, float("nan")))
+        assert math.isinf(relative_error(1.0, float("inf")))
+
+    def test_choose_n_runs(self):
+        assert choose_n_runs(NoiseModel(rsd=0.01)) == 1
+        assert choose_n_runs(NoiseModel(rsd=0.09)) == 7
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=9),
+           st.lists(st.floats(min_value=0.1, max_value=100), min_size=1,
+                    max_size=9))
+    @settings(max_examples=100, deadline=None)
+    def test_speedup_antisymmetry(self, base, var):
+        s = speedup_eq1(base, var)
+        inv = speedup_eq1(var, base)
+        assert s == pytest.approx(1.0 / inv)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6),
+           st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_relative_error_nonnegative_and_zero_iff_equal(self, a, b):
+        err = relative_error(a, b)
+        assert err >= 0
+        assert relative_error(a, a) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Property: lower/raise round trips, fraction monotonicity
+# ---------------------------------------------------------------------------
+
+@given(st.sets(st.integers(min_value=0, max_value=7)))
+@settings(max_examples=80, deadline=None)
+def test_fraction_lowered_counts(idx):
+    from repro.fortran import analyze, parse_source
+    from tests.conftest import SIMPLE_MODULE
+    atoms = collect_atoms(analyze(parse_source(SIMPLE_MODULE)))[:8]
+    if not atoms:
+        return
+    idx = {i for i in idx if i < len(atoms)}
+    space = SearchSpace(atoms)
+    names = [atoms[i].qualified for i in idx]
+    a = space.baseline().lower_all(names)
+    assert a.fraction_lowered == pytest.approx(len(idx) / len(atoms))
+    assert a.lowered() == set(names)

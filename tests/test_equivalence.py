@@ -1,0 +1,78 @@
+"""Equivalence of the two variant-evaluation paths.
+
+The search evaluates variants through the fast precision *overlay*; the
+reference path materializes transformed source (retype + wrappers),
+re-parses, and interprets.  These tests pin them together bitwise on
+funarc — the guarantee DESIGN.md's evaluation-fast-path section claims.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.fortran import (Interpreter, OutBox, analyze, analyze_program,
+                           parse_source, transform_program, unparse)
+from repro.models.funarc import FUNARC_SOURCE
+
+N = 120
+
+
+@pytest.fixture(scope="module")
+def funarc():
+    ast = parse_source(FUNARC_SOURCE)
+    index = analyze(ast)
+    atoms = sorted(s.qualified for s in index.fp_symbols()
+                   if s.qualified != "funarc_mod::funarc::result")
+    return ast, index, atoms
+
+
+def run_overlay(index, overlay):
+    vec = analyze_program(index)
+    interp = Interpreter(index, overlay=overlay, vec_info=vec)
+    box = OutBox(None)
+    interp.call("funarc", [N, box])
+    return np.float64(box.value)
+
+
+def run_transformed(ast, overlay):
+    result = transform_program(ast, overlay)
+    reparsed = analyze(parse_source(unparse(result.ast)))
+    vec = analyze_program(reparsed)
+    interp = Interpreter(reparsed, vec_info=vec)
+    box = OutBox(None)
+    interp.call("funarc", [N, box])
+    return np.float64(box.value)
+
+
+def test_uniform_single_paths_agree(funarc):
+    ast, index, atoms = funarc
+    overlay = {q: 4 for q in atoms}
+    assert run_overlay(index, overlay) == run_transformed(ast, overlay)
+
+
+def test_keep_s1_paths_agree(funarc):
+    ast, index, atoms = funarc
+    overlay = {q: 4 for q in atoms if q != "funarc_mod::funarc::s1"}
+    assert run_overlay(index, overlay) == run_transformed(ast, overlay)
+
+
+def test_wrapper_inducing_variant_paths_agree(funarc):
+    """Lower only the caller: the transformed path goes through a real
+    fun_wrapper_4_to_8, the overlay path through counted boundary casts —
+    results must still match bitwise."""
+    ast, index, atoms = funarc
+    overlay = {q: 4 for q in atoms if "::funarc::" in q}
+    overlay["funarc_mod::funarc::result"] = 4
+    assert run_overlay(index, overlay) == run_transformed(ast, overlay)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=7), max_size=8))
+@settings(max_examples=12, deadline=None)
+def test_random_assignments_paths_agree(lowered_idx):
+    ast = parse_source(FUNARC_SOURCE)
+    index = analyze(ast)
+    atoms = sorted(s.qualified for s in index.fp_symbols()
+                   if s.qualified != "funarc_mod::funarc::result")
+    overlay = {atoms[i]: 4 for i in lowered_idx}
+    assert run_overlay(index, overlay) == run_transformed(ast, overlay)

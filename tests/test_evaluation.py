@@ -1,0 +1,155 @@
+"""Evaluator pipeline tests: classification, caching, timeout, wall cost."""
+
+import numpy as np
+import pytest
+
+from repro.core import Evaluator, Outcome
+from repro.core.results import (load_records, record_from_dict,
+                                record_to_dict, save_records)
+from repro.models import FunarcCase
+from repro.models.base import ModelCase
+from repro.fortran.interpreter import Interpreter, OutBox
+
+
+class TestFunarcEvaluation:
+    def test_baseline_established(self, funarc_evaluator):
+        ev = funarc_evaluator
+        assert ev.baseline_total > 0
+        assert 0 < ev.baseline_hotspot <= ev.baseline_total
+        assert ev.op_cap > 0
+
+    def test_uniform32_passes_perf_fails_correctness(self, funarc_case,
+                                                     funarc_evaluator):
+        rec = funarc_evaluator.evaluate(funarc_case.space.all_single())
+        assert rec.outcome is Outcome.FAIL  # threshold below fp32 error
+        assert rec.speedup is not None and rec.speedup > 1.2
+
+    def test_keep_s1_passes(self, funarc_case, funarc_evaluator):
+        a = funarc_case.space.all_single().with_kinds(
+            {"funarc_mod::funarc::s1": 8})
+        rec = funarc_evaluator.evaluate(a)
+        assert rec.outcome is Outcome.PASS
+        assert rec.accepted()
+
+    def test_baseline_assignment_is_identity(self, funarc_case,
+                                             funarc_evaluator):
+        rec = funarc_evaluator.evaluate(funarc_case.space.baseline())
+        assert rec.outcome is Outcome.PASS
+        assert rec.error == 0.0
+        assert rec.speedup == pytest.approx(1.0, abs=0.05)
+
+    def test_caching_by_assignment_identity(self, funarc_case,
+                                            funarc_evaluator):
+        a = funarc_case.space.all_single()
+        r1 = funarc_evaluator.evaluate(a)
+        r2 = funarc_evaluator.evaluate(
+            funarc_case.space.baseline().lower_all(
+                [at.qualified for at in funarc_case.space.atoms]))
+        assert r1 is r2  # same kinds tuple -> cached record
+
+    def test_proc_perf_recorded(self, funarc_case, funarc_evaluator):
+        rec = funarc_evaluator.evaluate(funarc_case.space.all_single())
+        assert "funarc_mod::fun" in rec.proc_perf
+        assert rec.proc_perf["funarc_mod::fun"].calls > 0
+
+    def test_eval_wall_seconds_accounts_compile_and_runs(
+            self, funarc_case, funarc_evaluator):
+        rec = funarc_evaluator.evaluate(funarc_case.space.baseline())
+        assert rec.eval_wall_seconds >= funarc_case.compile_seconds
+
+
+class _CrashCase(ModelCase):
+    """A tiny model whose variant crashes when its guard variable is
+    lowered, and spins (slowly) when its tolerance is lowered."""
+
+    name = "crash-case"
+    source = """
+module cm
+  implicit none
+contains
+  subroutine work(mode, out)
+    implicit none
+    integer :: mode, i
+    real(kind=8), intent(out) :: out
+    real(kind=8) :: guard, tol, x
+    guard = 1.0d0 - 2.0d-8
+    tol = 1.0d-12
+    if (guard == 1.0d0) error stop 'guard degenerated'
+    x = 1.0d0
+    do i = 1, 100000
+      x = x * 0.5d0
+      if (x < 0.25d0) exit
+    end do
+    out = x + tol
+  end subroutine work
+end module cm
+"""
+    hotspot_scopes = ("cm",)
+    error_threshold = 1e-6
+    nominal_runtime_seconds = 10.0
+    compile_seconds = 5.0
+
+    def _drive(self, interp: Interpreter) -> np.ndarray:
+        box = OutBox(None)
+        interp.call("work", [1, box])
+        return np.asarray([float(box.value)])
+
+    def correctness_error(self, baseline, variant):
+        from repro.core.metrics import relative_error
+        return relative_error(float(baseline[0]), float(variant[0]))
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def crash_evaluator(self):
+        return Evaluator(_CrashCase())
+
+    def test_runtime_error_classified(self, crash_evaluator):
+        case = crash_evaluator.model
+        rec = crash_evaluator.evaluate(
+            case.space.baseline().lower_all(["cm::work::guard"]))
+        assert rec.outcome is Outcome.RUNTIME_ERROR
+        assert "guard degenerated" in rec.note
+        assert rec.speedup is None
+
+    def test_pass_with_identity(self, crash_evaluator):
+        rec = crash_evaluator.evaluate(
+            crash_evaluator.model.space.baseline())
+        assert rec.outcome is Outcome.PASS
+
+
+class TestTimeoutClassification:
+    def test_sim_time_timeout(self, funarc_case):
+        """With an absurdly tight timeout factor, any variant that is not
+        strictly faster gets classified TIMEOUT."""
+        ev = Evaluator(funarc_case, timeout_factor=0.5)
+        rec = ev.evaluate(funarc_case.space.baseline().lower_all(
+            [funarc_case.space.atoms[0].qualified]))
+        assert rec.outcome is Outcome.TIMEOUT
+        assert "baseline" in rec.note
+
+
+class TestResultsRoundTrip:
+    def test_json_round_trip(self, funarc_case, funarc_evaluator, tmp_path):
+        recs = [
+            funarc_evaluator.evaluate(funarc_case.space.baseline()),
+            funarc_evaluator.evaluate(funarc_case.space.all_single()),
+        ]
+        path = tmp_path / "records.json"
+        save_records(recs, path)
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        for orig, back in zip(recs, loaded):
+            assert back.kinds == orig.kinds
+            assert back.outcome == orig.outcome
+            assert back.error == orig.error
+            assert back.speedup == orig.speedup
+            assert back.proc_perf.keys() == orig.proc_perf.keys()
+
+    def test_inf_error_survives_json(self):
+        import math
+        from repro.core.evaluation import VariantRecord
+        rec = VariantRecord(1, (4, 8), 0.5, Outcome.RUNTIME_ERROR,
+                            error=math.inf)
+        back = record_from_dict(record_to_dict(rec))
+        assert math.isinf(back.error)

@@ -1,0 +1,158 @@
+"""Intrinsic procedure tests: values and kind propagation."""
+
+import numpy as np
+import pytest
+
+from repro.fortran.intrinsics import INTRINSICS, is_intrinsic
+from repro.fortran.values import FArray
+
+
+def call(name, *args, **kwargs):
+    return INTRINSICS[name].fn(*args, **kwargs)
+
+
+def f32(x):
+    return np.float32(x)
+
+
+def f64(x):
+    return np.float64(x)
+
+
+def arr(values, kind=8, lbounds=None):
+    dtype = np.float32 if kind == 4 else np.float64
+    data = np.asarray(values, dtype=dtype)
+    return FArray(data, lbounds or tuple(1 for _ in data.shape), kind)
+
+
+class TestKindPropagation:
+    @pytest.mark.parametrize("name", ["sin", "cos", "exp", "sqrt", "abs",
+                                      "log", "tanh"])
+    def test_single_stays_single(self, name):
+        out = call(name, f32(0.5))
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize("name", ["sin", "sqrt", "abs"])
+    def test_double_stays_double(self, name):
+        assert call(name, f64(0.5)).dtype == np.float64
+
+    def test_single_sin_differs_from_double(self):
+        lo = float(call("sin", f32(1.2345678)))
+        hi = float(call("sin", f64(1.2345678)))
+        assert lo != hi
+        assert abs(lo - hi) < 1e-6
+
+    def test_elementwise_on_farray_keeps_bounds(self):
+        a = arr([1.0, 4.0, 9.0], kind=8, lbounds=(0,))
+        out = call("sqrt", a)
+        assert isinstance(out, FArray)
+        assert out.lbounds == (0,)
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+
+class TestMinMax:
+    def test_integer_min_max(self):
+        assert call("min", 3, 7, 5) == 3
+        assert call("max", 3, 7, 5) == 7
+        assert isinstance(call("min", 3, 7), int)
+
+    def test_real_promotion(self):
+        out = call("max", f32(1.0), f64(2.0))
+        assert out.dtype == np.float64
+
+    def test_array_scalar_max(self):
+        a = arr([1.0, -2.0, 3.0])
+        out = call("max", a, f64(0.0))
+        np.testing.assert_allclose(out.data, [1.0, 0.0, 3.0])
+
+
+class TestMiscNumeric:
+    def test_sign(self):
+        assert call("sign", f64(3.0), f64(-1.0)) == -3.0
+        assert call("sign", f64(-3.0), f64(2.0)) == 3.0
+
+    def test_mod(self):
+        assert call("mod", 7, 3) == 1
+        assert float(call("mod", f64(7.5), f64(2.0))) == 1.5
+
+    def test_merge_scalar(self):
+        assert call("merge", f64(1.0), f64(2.0), True) == 1.0
+        assert call("merge", f64(1.0), f64(2.0), False) == 2.0
+
+    def test_int_truncates(self):
+        assert call("int", f64(2.9)) == 2
+        assert call("int", f64(-2.9)) == -2
+
+    def test_nint_rounds(self):
+        assert call("nint", f64(2.5)) == 2  # banker's rounding (rint)
+        assert call("nint", f64(2.6)) == 3
+
+    def test_floor_ceiling(self):
+        assert call("floor", f64(-1.5)) == -2
+        assert call("ceiling", f64(-1.5)) == -1
+
+
+class TestReductions:
+    def test_sum_preserves_kind(self):
+        out = call("sum", arr([1.0, 2.0], kind=4))
+        assert out.dtype == np.float32 and float(out) == 3.0
+
+    def test_maxval_minval(self):
+        a = arr([3.0, -1.0, 2.0])
+        assert float(call("maxval", a)) == 3.0
+        assert float(call("minval", a)) == -1.0
+
+    def test_dot_product_promotes(self):
+        out = call("dot_product", arr([1.0, 2.0], kind=4),
+                   arr([3.0, 4.0], kind=8))
+        assert out.dtype == np.float64 and float(out) == 11.0
+
+    def test_maxloc_respects_lbounds(self):
+        a = arr([1.0, 9.0, 2.0], lbounds=(0,))
+        assert call("maxloc", a) == 1
+
+
+class TestInquiry:
+    def test_size(self):
+        assert call("size", arr([1.0, 2.0, 3.0])) == 3
+
+    def test_size_with_dim(self):
+        a = FArray(np.zeros((2, 5)), (1, 1), 8)
+        assert call("size", a, 2) == 5
+
+    def test_bounds(self):
+        a = arr([1.0, 2.0], lbounds=(0,))
+        assert call("lbound", a, 1) == 0
+        assert call("ubound", a, 1) == 1
+
+    def test_epsilon_by_kind(self):
+        assert float(call("epsilon", f32(1.0))) == pytest.approx(1.19e-7,
+                                                                 rel=1e-2)
+        assert float(call("epsilon", f64(1.0))) == pytest.approx(2.22e-16,
+                                                                 rel=1e-2)
+
+    def test_huge_tiny(self):
+        assert float(call("huge", f32(1.0))) > 1e38
+        assert 0 < float(call("tiny", f32(1.0))) < 1e-37
+
+
+class TestConversions:
+    def test_real_default_single(self):
+        assert call("real", 5).dtype == np.float32
+
+    def test_real_with_kind(self):
+        assert call("real", f32(1.0), kind=8).dtype == np.float64
+
+    def test_dble_sngl(self):
+        assert call("dble", f32(1.5)).dtype == np.float64
+        assert call("sngl", f64(1.5)).dtype == np.float32
+
+    def test_ieee_is_nan(self):
+        assert call("ieee_is_nan", f64(float("nan"))) is True
+        assert call("ieee_is_nan", f64(1.0)) is False
+
+
+def test_registry_lookup():
+    assert is_intrinsic("sin")
+    assert not is_intrinsic("not_an_intrinsic")
+    assert all(d.opclass for d in INTRINSICS.values())

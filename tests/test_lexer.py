@@ -1,0 +1,110 @@
+"""Tests for the tokenizer: literals, operators, normalization."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.fortran.lexer import tokenize
+from repro.fortran.sourceform import LogicalLine
+from repro.fortran.lexer import tokenize_line
+
+
+def toks(text):
+    out = tokenize_line(LogicalLine(text, 1))
+    assert out[-1].kind == "EOL"
+    return [(t.kind, t.value) for t in out[:-1]]
+
+
+class TestNames:
+    def test_names_lowercased(self):
+        assert toks("Foo_Bar") == [("NAME", "foo_bar")]
+
+    def test_name_with_digits(self):
+        assert toks("x2y3") == [("NAME", "x2y3")]
+
+
+class TestNumericLiterals:
+    def test_integer(self):
+        assert toks("42") == [("INT", "42")]
+
+    def test_integer_kind_suffix(self):
+        assert toks("42_8") == [("INT", "42_8")]
+
+    @pytest.mark.parametrize("lit", [
+        "1.0", "1.5e3", "2.5e-3", "1.0d0", "3.25D-12", ".5", "7.",
+        "1.0_8", "2e5",
+    ])
+    def test_real_literals(self, lit):
+        kinds = [k for k, _ in toks(f"x = {lit}")]
+        assert kinds == ["NAME", "OP", "REAL"]
+
+    def test_dot_after_integer_not_logical_op(self):
+        # "1.and." must not lex "1." as a real followed by garbage:
+        # Fortran reads this as 1 .and. — integer then logical operator.
+        out = toks("1 .and. 2")
+        assert out == [("INT", "1"), ("OP", ".and."), ("INT", "2")]
+
+    def test_real_followed_by_operator(self):
+        out = toks("1.5+2")
+        assert out == [("REAL", "1.5"), ("OP", "+"), ("INT", "2")]
+
+
+class TestOperators:
+    def test_multi_char_ops(self):
+        assert toks("a ** b == c") == [
+            ("NAME", "a"), ("OP", "**"), ("NAME", "b"),
+            ("OP", "=="), ("NAME", "c"),
+        ]
+
+    def test_double_colon(self):
+        assert toks("real :: x")[1] == ("OP", "::")
+
+    @pytest.mark.parametrize("old,new", [
+        (".lt.", "<"), (".le.", "<="), (".gt.", ">"), (".ge.", ">="),
+        (".eq.", "=="), (".ne.", "/="),
+    ])
+    def test_old_style_relops_normalized(self, old, new):
+        assert toks(f"a {old} b")[1] == ("OP", new)
+
+    def test_logical_literals(self):
+        assert toks(".true.") == [("LOGICAL", ".true.")]
+        assert toks(".FALSE.") == [("LOGICAL", ".false.")]
+
+    def test_logical_operators(self):
+        out = toks("a .AND. .not. b .or. c")
+        assert ("OP", ".and.") in out
+        assert ("OP", ".not.") in out
+        assert ("OP", ".or.") in out
+
+    def test_arrow(self):
+        assert toks("p => q")[1] == ("OP", "=>")
+
+    def test_percent(self):
+        assert toks("a%b") == [("NAME", "a"), ("OP", "%"), ("NAME", "b")]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert toks("'hello'") == [("STRING", "hello")]
+
+    def test_doubled_quote(self):
+        assert toks("'it''s'") == [("STRING", "it's")]
+
+    def test_double_quoted(self):
+        assert toks('"hi"') == [("STRING", "hi")]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            toks("a @ b")
+
+    def test_unterminated_string_in_line(self):
+        with pytest.raises(LexError):
+            toks("x = 'abc")
+
+
+def test_tokenize_full_source():
+    lines = tokenize("a = 1\nb = a + 2\n")
+    assert len(lines) == 2
+    assert lines[0][0].value == "a"
+    assert all(line[-1].kind == "EOL" for line in lines)

@@ -1,0 +1,186 @@
+"""Model miniature tests: each paper mechanism on the small configs."""
+
+import numpy as np
+import pytest
+
+from repro.core import Evaluator, Outcome
+from repro.errors import FortranStopError
+from repro.models import AdcircCase, FunarcCase, Mom6Case, MpasCase
+
+
+class TestFunarc:
+    def test_baseline_value_is_arc_length(self, funarc_case,
+                                          funarc_evaluator):
+        # Arc length of fun over [0, pi] is ~5.79 in the limit; coarse n
+        # overestimates slightly but must be in a sane range.
+        value = float(funarc_evaluator.baseline_observable[0])
+        assert 5.0 < value < 8.0
+
+    def test_atom_inventory_matches_paper(self, funarc_case):
+        # 8 atoms: fun{x, t1, d1} + funarc{s1, h, t1, t2, dppi};
+        # `result` is excluded as in the paper.
+        assert len(case_atoms := funarc_case.atoms) == 8
+        assert "funarc_mod::funarc::result" not in {
+            a.qualified for a in case_atoms}
+
+    def test_error_scales_with_workload(self):
+        small = FunarcCase(n=100)
+        big = FunarcCase(n=800)
+        e_small = Evaluator(small).evaluate(small.space.all_single()).error
+        e_big = Evaluator(big).evaluate(big.space.all_single()).error
+        assert e_big > e_small  # phase error grows with n
+
+
+class TestMpas:
+    def test_baseline_stable(self, mpas_small):
+        obs = mpas_small.run(None).observable
+        assert np.all(np.isfinite(obs))
+        assert obs.shape == (mpas_small.nsteps, mpas_small.ncells)
+        assert obs.min() > 0  # kinetic energy is positive
+
+    def test_uniform32_faster_than_baseline(self, mpas_small):
+        ev = Evaluator(mpas_small)
+        rec = ev.evaluate(mpas_small.space.all_single())
+        assert rec.speedup is not None and rec.speedup > 1.4
+
+    def test_flux_interface_mismatch_catastrophic(self, mpas_small):
+        ev = Evaluator(mpas_small)
+        lower = {a.qualified: 4 for a in mpas_small.atoms
+                 if "::flux4::" in a.qualified}
+        rec = ev.evaluate(mpas_small.space.baseline().with_kinds(lower))
+        assert rec.wrapped_calls > 0
+        assert rec.speedup is not None and rec.speedup < 0.8
+        # Per-call flux slowdown in the paper's 0.03-0.1x ballpark.
+        base_cost = ev.baseline_cost
+        proc = "atm_time_integration::flux4"
+        base_per_call = (base_cost.proc_seconds[proc]
+                         / base_cost.proc_calls[proc])
+        var_per_call = rec.proc_perf[proc].seconds_per_call
+        assert base_per_call / var_per_call < 0.2
+
+    def test_hotspot_share_near_paper(self):
+        case = MpasCase()
+        ev = Evaluator(case)
+        share = ev.baseline_hotspot / ev.baseline_total
+        assert 0.10 < share < 0.25  # paper: ~15%
+
+    def test_whole_model_mode_measures_total(self, mpas_small):
+        whole = MpasCase.whole_model(ncells=12, nlev=4, nsteps=5, nwork=3)
+        ev = Evaluator(whole)
+        rec = ev.evaluate(whole.space.all_single())
+        # Whole-model speedup must be well below the hotspot speedup:
+        # boundary casts of 64-bit state into the lowered hotspot.  In
+        # this small config (hotspot-heavy) the collapse can even cross
+        # the 3x timeout — either way it must not look like a win.
+        hot_ev = Evaluator(mpas_small)
+        hot = hot_ev.evaluate(mpas_small.space.all_single())
+        assert hot.speedup > 1.4
+        if rec.outcome is Outcome.TIMEOUT:
+            assert rec.speedup is None
+        else:
+            assert rec.speedup < hot.speedup
+
+
+class TestAdcirc:
+    def test_baseline_converges(self, adcirc_small):
+        obs = adcirc_small.run(None).observable
+        assert np.all(np.isfinite(obs))
+        assert obs.max() > 0.1  # tidal amplitudes present
+
+    def test_cme_rounds_to_one_in_fp32(self):
+        assert np.float32(1.0 - 2.0e-8) == np.float32(1.0)
+        assert np.float64(1.0 - 2.0e-8) != np.float64(1.0)
+
+    def test_lowering_cme_changes_control_flow(self, adcirc_small):
+        """The paper's single critical parameter: lowering cme collapses
+        the stopping test and the solver exits after one sweep."""
+        ev = Evaluator(adcirc_small)
+        rec = ev.evaluate(adcirc_small.space.baseline().with_kinds(
+            {"itpackv::cme": 4}))
+        assert rec.outcome is Outcome.FAIL
+        assert rec.error > adcirc_small.error_threshold * 10
+        assert rec.speedup is not None and rec.speedup > 2.0
+
+    def test_stall_variant_aborts(self, adcirc_small):
+        """Lowering the solution-update chain while keeping cme stalls the
+        iteration at the fp32 floor -> itmax abort."""
+        ev = Evaluator(adcirc_small)
+        lower = {a.qualified: 4 for a in adcirc_small.atoms
+                 if a.qualified != "itpackv::cme"}
+        rec = ev.evaluate(adcirc_small.space.baseline().with_kinds(lower))
+        # Small config is marginal by design: either it stalls (error) or
+        # converges with tiny error — never an intolerable FAIL.
+        assert rec.outcome in (Outcome.RUNTIME_ERROR, Outcome.PASS)
+
+    def test_allreduce_in_peror(self, adcirc_small):
+        run = adcirc_small.run(None)
+        assert any("peror" in proc for proc in run.ledger.allreduce)
+        # jcg's bnorm allreduce too
+        assert sum(v[0] for v in run.ledger.allreduce.values()) > 2
+
+
+class TestMom6:
+    def test_baseline_runs(self, mom6_small):
+        obs = mom6_small.run(None).observable
+        assert np.all(np.isfinite(obs))
+        assert obs.shape == (mom6_small.nsteps,)
+        assert np.all(obs > 0)  # CFL numbers
+
+    def test_uniform32_executes_but_slow(self, mom6_small):
+        """>98% 32-bit variants execute with heavy slowdown (stalled
+        Newton flux adjustment), matching the paper's 0.2-0.6x."""
+        ev = Evaluator(mom6_small)
+        rec = ev.evaluate(mom6_small.space.all_single())
+        assert rec.outcome in (Outcome.PASS, Outcome.FAIL)
+        assert rec.speedup is not None and rec.speedup < 0.7
+
+    def test_mixed_variant_violates_conservation(self, mom6_small):
+        """Mixing the transport-checksum accumulator's precision against
+        the continuity side trips the reproducibility guard."""
+        ev = Evaluator(mom6_small)
+        rec = ev.evaluate(mom6_small.space.baseline().with_kinds(
+            {"mom_continuity_ppm::uh_checksum": 4}))
+        assert rec.outcome is Outcome.RUNTIME_ERROR
+        assert "checksum" in rec.note or "conservation" in rec.note
+
+    def test_flux_adjust_iteration_blowup(self, mom6_small):
+        """fp32 Newton stalls: iteration count grows by an order of
+        magnitude vs the fp64 baseline (paper Fig. 6: 10-100x)."""
+        base = mom6_small.run(None)
+        base_calls = base.ledger.call_count(
+            "mom_continuity_ppm::zonal_flux_layer")
+        var = mom6_small.run(mom6_small.space.all_single())
+        var_calls = var.ledger.call_count(
+            "mom_continuity_ppm::zonal_flux_layer")
+        assert var_calls > 3 * base_calls
+
+    def test_eps_scaled_guard_is_kind_aware(self, mom6_small):
+        """The conservation tolerance scales with the accumulator's own
+        epsilon: uniform fp32 passes (its own-eps tolerance absorbs its
+        own rounding), but quantizing the thickness update against fp64
+        accumulators aborts.  Note flux rounding alone cannot violate
+        conservation — the flux-form update telescopes exactly for any
+        flux values — so the sensitive atoms are the update/accumulator
+        chain, exactly what the searches discover."""
+        uniform = mom6_small.run(mom6_small.space.all_single())
+        assert uniform.observable is not None  # no error stop
+        lower = {"mom_continuity_ppm::continuity_ppm::hnew": 4}
+        with pytest.raises(FortranStopError, match="conservation"):
+            mom6_small.run(mom6_small.space.baseline().with_kinds(lower))
+
+    def test_n_runs_is_seven(self, mom6_small):
+        assert mom6_small.n_runs == 7
+        assert mom6_small.noise_rsd == pytest.approx(0.09)
+
+
+class TestRegistry:
+    def test_get_model(self):
+        from repro.models import get_model
+        assert get_model("funarc").name == "funarc"
+        assert get_model("mpas-a-whole-model").perf_scope == "model"
+        with pytest.raises(KeyError):
+            get_model("nope")
+
+    def test_describe(self, mpas_small):
+        text = mpas_small.describe()
+        assert "atm_time_integration" in text

@@ -1,0 +1,121 @@
+"""Headline paper results as tests (compact configurations).
+
+The full artifact-appendix property set runs in ``benchmarks/``; this
+module pins the central claims on the default model configurations so
+``pytest tests/`` alone demonstrates the reproduction:
+
+* MPAS-A: 1-minimal variant >90% lowered, big speedup, error *below*
+  uniform 32-bit (the paper's headline 1.95x result, C1).
+* ADCIRC: 1-minimal keeps essentially one variable (cme), modest
+  speedup ~1.1x.
+* MOM6: uniform-ish 32-bit executes but slows down; a large share of
+  mixed variants die with runtime errors.
+* Table I ordering of hotspot CPU shares.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (DeltaDebugSearch, Evaluator, FunctionOracle,
+                        Outcome)
+from repro.models import AdcircCase, Mom6Case, MpasCase
+
+pytestmark = pytest.mark.paper
+
+
+@pytest.fixture(scope="module")
+def mpas_search():
+    case = MpasCase(error_threshold=1.2e-6)
+    ev = Evaluator(case)
+    res = DeltaDebugSearch().run(
+        case.space, FunctionOracle(fn=ev.evaluate, max_evaluations=300))
+    return case, ev, res
+
+
+@pytest.fixture(scope="module")
+def adcirc_search():
+    case = AdcircCase()
+    ev = Evaluator(case)
+    res = DeltaDebugSearch().run(
+        case.space, FunctionOracle(fn=ev.evaluate, max_evaluations=300))
+    return case, ev, res
+
+
+class TestMpasHeadline:
+    def test_one_minimal_mostly_lowered_and_fast(self, mpas_search):
+        case, ev, res = mpas_search
+        assert res.finished
+        final = res.final_record
+        assert final is not None
+        assert res.final.fraction_lowered > 0.90   # paper: >90% 32-bit
+        assert final.speedup > 1.5                 # paper: 1.95x
+
+    def test_more_correct_than_uniform_32(self, mpas_search):
+        case, ev, res = mpas_search
+        uniform = ev.evaluate(case.space.all_single())
+        final = res.final_record
+        assert final.error < uniform.error
+        assert uniform.outcome is Outcome.FAIL     # threshold calibration
+
+    def test_no_runtime_errors(self, mpas_search):
+        case, ev, res = mpas_search
+        fractions = res.outcome_fractions()
+        assert fractions[Outcome.RUNTIME_ERROR] == 0.0   # paper: 0%
+
+    def test_fail_share_substantial(self, mpas_search):
+        case, ev, res = mpas_search
+        fractions = res.outcome_fractions()
+        assert fractions[Outcome.FAIL] > 0.3       # paper: 56.2%
+
+
+class TestAdcircHeadline:
+    def test_single_critical_parameter(self, adcirc_search):
+        case, ev, res = adcirc_search
+        kept = res.final.high()
+        # The paper: "only one FP variable remaining in 64-bit".
+        assert "itpackv::cme" in kept
+        assert len(kept) <= 3
+
+    def test_modest_speedup(self, adcirc_search):
+        case, ev, res = adcirc_search
+        best = res.best_speedup()
+        assert 1.0 < best < 1.4                    # paper: 1.12x
+
+    def test_all_outcome_classes_present(self, adcirc_search):
+        case, ev, res = adcirc_search
+        fr = res.outcome_fractions()
+        assert fr[Outcome.PASS] > 0
+        assert fr[Outcome.FAIL] > 0
+        assert fr[Outcome.RUNTIME_ERROR] > 0       # paper: 29.7%
+
+
+class TestMom6Headline:
+    def test_uniform32_executes_slowly(self):
+        case = Mom6Case()
+        ev = Evaluator(case)
+        rec = ev.evaluate(case.space.all_single())
+        assert rec.outcome in (Outcome.PASS, Outcome.FAIL)
+        assert 0.15 <= rec.speedup <= 0.7          # paper: 0.2-0.6x
+
+    def test_mixed_variants_mostly_error(self):
+        case = Mom6Case()
+        ev = Evaluator(case)
+        rng = np.random.default_rng(11)
+        outcomes = []
+        for _ in range(10):
+            p = rng.uniform(0.15, 0.9)
+            lowered = [a.qualified for a in case.atoms
+                       if rng.random() < p]
+            rec = ev.evaluate(case.space.baseline().lower_all(lowered))
+            outcomes.append(rec.outcome)
+        errs = sum(1 for o in outcomes if o is Outcome.RUNTIME_ERROR)
+        assert errs >= 5                           # paper: ~95% of >10%-32
+
+
+class TestTableOne:
+    def test_cpu_share_ordering(self):
+        shares = {}
+        for case in (MpasCase(), AdcircCase(), Mom6Case()):
+            ev = Evaluator(case)
+            shares[case.name] = ev.baseline_hotspot / ev.baseline_total
+        assert shares["mpas-a"] > shares["adcirc"] > shares["mom6"]

@@ -1,0 +1,286 @@
+"""Parser tests: program units, declarations, control flow, expressions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fortran import ast_nodes as F
+from repro.fortran.parser import parse_source
+
+
+def parse_stmts(body: str) -> list[F.Stmt]:
+    src = f"subroutine s()\n{body}\nend subroutine s\n"
+    proc = parse_source(src).units[0]
+    assert isinstance(proc, F.Subroutine)
+    return proc.body
+
+
+def parse_expr(text: str) -> F.Expr:
+    (stmt,) = parse_stmts(f"x = {text}")
+    assert isinstance(stmt, F.Assignment)
+    return stmt.value
+
+
+class TestProgramUnits:
+    def test_module_with_contains(self):
+        src = """
+module m
+  implicit none
+  real(kind=8) :: a
+contains
+  subroutine s()
+    a = 1.0d0
+  end subroutine s
+end module m
+"""
+        sf = parse_source(src)
+        (mod,) = sf.units
+        assert isinstance(mod, F.Module)
+        assert mod.name == "m"
+        assert len(mod.procedures) == 1
+        assert mod.procedures[0].name == "s"
+
+    def test_function_with_result_clause(self):
+        src = "function f(x) result(y)\nreal(kind=8) :: x, y\ny = x\nend function f\n"
+        (fn,) = parse_source(src).units
+        assert isinstance(fn, F.Function)
+        assert fn.result == "y"
+        assert fn.args == ["x"]
+
+    def test_function_with_prefix_spec(self):
+        src = "real(kind=8) function f(x)\nreal(kind=8) :: x\nf = x\nend function f\n"
+        (fn,) = parse_source(src).units
+        assert isinstance(fn, F.Function)
+        assert fn.prefix_spec is not None
+        assert fn.prefix_spec.base == "real"
+
+    def test_pure_prefix_accepted(self):
+        src = "pure function f(x) result(y)\nreal(kind=8) :: x, y\ny = x\nend function f\n"
+        (fn,) = parse_source(src).units
+        assert isinstance(fn, F.Function)
+
+    def test_main_program(self):
+        src = "program main\ninteger :: i\ni = 1\nend program main\n"
+        (prog,) = parse_source(src).units
+        assert isinstance(prog, F.MainProgram)
+
+    def test_mismatched_end_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("module a\nend module b\n")
+
+    def test_contains_in_procedure(self):
+        src = """
+subroutine outer()
+  call inner()
+contains
+  subroutine inner()
+    return
+  end subroutine inner
+end subroutine outer
+"""
+        (proc,) = parse_source(src).units
+        assert len(proc.contains) == 1
+
+
+class TestDeclarations:
+    def _decl(self, text: str) -> F.TypeDecl:
+        src = f"subroutine s()\n{text}\nx = 0\nend subroutine s\n"
+        proc = parse_source(src).units[0]
+        decls = [d for d in proc.decls if isinstance(d, F.TypeDecl)]
+        return decls[0]
+
+    def test_real_with_kind(self):
+        d = self._decl("real(kind=8) :: x")
+        assert d.spec.base == "real"
+        assert isinstance(d.spec.kind, F.IntLit) and d.spec.kind.value == 8
+
+    def test_real_positional_kind(self):
+        d = self._decl("real(4) :: x")
+        assert d.spec.kind.value == 4
+
+    def test_double_precision(self):
+        d = self._decl("double precision :: x")
+        assert d.spec.base == "real"
+        assert d.spec.kind.value == 8
+
+    def test_legacy_star_kind(self):
+        d = self._decl("real*8 :: x")
+        assert d.spec.kind.value == 8
+
+    def test_attributes(self):
+        d = self._decl("real(kind=8), intent(inout), dimension(10) :: a")
+        assert d.intent == "inout"
+        assert d.dims is not None and len(d.dims) == 1
+
+    def test_parameter_with_init(self):
+        d = self._decl("integer, parameter :: n = 10")
+        assert "parameter" in d.attrs
+        assert isinstance(d.entities[0].init, F.IntLit)
+
+    def test_entity_dims_and_bounds(self):
+        d = self._decl("real(kind=8) :: a(0:9), b(3, 4)")
+        a, b = d.entities
+        assert a.dims[0].lower.value == 0 and a.dims[0].upper.value == 9
+        assert len(b.dims) == 2
+
+    def test_assumed_shape(self):
+        d = self._decl("real(kind=8), dimension(:, :) :: a")
+        assert all(dim.assumed for dim in d.dims)
+
+    def test_derived_type_decl(self):
+        d = self._decl("type(state_t) :: s")
+        assert d.spec.base == "type"
+        assert d.spec.derived_name == "state_t"
+
+    def test_type_definition(self):
+        src = """
+module m
+  implicit none
+  type :: point
+    real(kind=8) :: x, y
+  end type point
+end module m
+"""
+        (mod,) = parse_source(src).units
+        (tdef,) = [d for d in mod.decls if isinstance(d, F.TypeDef)]
+        assert tdef.name == "point"
+        assert len(tdef.components) == 1
+        assert len(tdef.components[0].entities) == 2
+
+    def test_use_with_only_and_rename(self):
+        src = "subroutine s()\nuse m, only: a, b => c\nx = 0\nend subroutine s\n"
+        proc = parse_source(src).units[0]
+        (use,) = [d for d in proc.decls if isinstance(d, F.UseStmt)]
+        assert use.module == "m"
+        assert use.only == [("a", "a"), ("b", "c")]
+
+
+class TestControlFlow:
+    def test_block_if_else_chain(self):
+        (stmt,) = parse_stmts("""
+if (a > 0) then
+  x = 1
+else if (a < 0) then
+  x = 2
+else
+  x = 3
+end if
+""")
+        assert isinstance(stmt, F.IfBlock)
+        assert len(stmt.arms) == 3
+        assert stmt.arms[2].cond is None
+
+    def test_one_line_if(self):
+        (stmt,) = parse_stmts("if (a > 0) x = 1")
+        assert isinstance(stmt, F.IfBlock)
+        assert len(stmt.arms) == 1
+        assert isinstance(stmt.arms[0].body[0], F.Assignment)
+
+    def test_one_line_if_with_exit(self):
+        (loop,) = parse_stmts("do i = 1, 10\nif (i > 5) exit\nend do")
+        inner = loop.body[0]
+        assert isinstance(inner, F.IfBlock)
+        assert isinstance(inner.arms[0].body[0], F.ExitStmt)
+
+    def test_counted_do_with_step(self):
+        (loop,) = parse_stmts("do i = 10, 1, -1\nx = i\nend do")
+        assert isinstance(loop, F.DoLoop)
+        assert isinstance(loop.step, F.UnaryOp)
+
+    def test_do_while(self):
+        (loop,) = parse_stmts("do while (x < 10)\nx = x + 1\nend do")
+        assert isinstance(loop, F.DoWhile)
+
+    def test_plain_do_becomes_while_true(self):
+        (loop,) = parse_stmts("do\nexit\nend do")
+        assert isinstance(loop, F.DoWhile)
+        assert isinstance(loop.cond, F.LogicalLit) and loop.cond.value
+
+    def test_endif_spelling(self):
+        (stmt,) = parse_stmts("if (a > 0) then\nx = 1\nendif")
+        assert isinstance(stmt, F.IfBlock)
+
+    def test_stop_variants(self):
+        stop1, stop2, stop3 = parse_stmts(
+            "stop\nerror stop 'bad'\nstop 2")
+        assert isinstance(stop1, F.StopStmt) and not stop1.is_error
+        assert stop2.is_error and stop2.message == "bad"
+        assert isinstance(stop3.code, F.IntLit)
+
+    def test_missing_end_do(self):
+        with pytest.raises(ParseError):
+            parse_stmts("do i = 1, 2\nx = 1")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, F.BinOp) and e.op == "+"
+        assert isinstance(e.right, F.BinOp) and e.right.op == "*"
+
+    def test_power_right_associative(self):
+        e = parse_expr("a ** b ** c")
+        assert e.op == "**"
+        assert isinstance(e.right, F.BinOp) and e.right.op == "**"
+
+    def test_unary_minus_binds_looser_than_mul(self):
+        # Fortran: -a * b parses as -(a * b)
+        e = parse_expr("-a * b")
+        assert isinstance(e, F.UnaryOp)
+        assert isinstance(e.operand, F.BinOp) and e.operand.op == "*"
+
+    def test_power_binds_tighter_than_unary(self):
+        e = parse_expr("-a ** 2")
+        assert isinstance(e, F.UnaryOp)
+        assert isinstance(e.operand, F.BinOp) and e.operand.op == "**"
+
+    def test_logical_precedence(self):
+        e = parse_expr("a < b .and. c > d .or. e == f")
+        assert e.op == ".or."
+        assert e.left.op == ".and."
+
+    def test_array_section(self):
+        e = parse_expr("a(2:n-1)")
+        assert isinstance(e, F.Apply)
+        (rng,) = e.args
+        assert isinstance(rng, F.RangeExpr)
+        assert isinstance(rng.hi, F.BinOp)
+
+    def test_full_section(self):
+        e = parse_expr("a(:)")
+        (rng,) = e.args
+        assert rng.lo is None and rng.hi is None
+
+    def test_section_with_stride(self):
+        e = parse_expr("a(1:10:2)")
+        (rng,) = e.args
+        assert isinstance(rng.step, F.IntLit)
+
+    def test_keyword_argument(self):
+        e = parse_expr("real(x, kind=8)")
+        assert isinstance(e.args[1], F.KeywordArg)
+        assert e.args[1].name == "kind"
+
+    def test_component_ref_chain(self):
+        e = parse_expr("s%a%b(2)")
+        assert isinstance(e, F.ComponentRef)
+        assert e.component == "b"
+        assert e.args is not None
+        assert isinstance(e.base, F.ComponentRef)
+
+    def test_array_constructor(self):
+        e = parse_expr("(/ 1.0, 2.0, 3.0 /)")
+        assert isinstance(e, F.ArrayCons)
+        assert len(e.items) == 3
+
+    def test_real_literal_kinds(self):
+        assert parse_expr("1.0d0").kind == 8
+        assert parse_expr("1.0").kind == 4
+        assert parse_expr("1.0_8").kind == 8
+
+    def test_nested_calls(self):
+        e = parse_expr("max(abs(a), sqrt(b + c))")
+        assert isinstance(e, F.Apply) and e.name == "max"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("x = 1 2")

@@ -1,0 +1,148 @@
+"""Machine model, cost model, timers, and noise tests."""
+
+import numpy as np
+import pytest
+
+from repro.fortran.instrumentation import CallKey, Ledger, OpKey
+from repro.perf import (DERECHO, MachineModel, NoiseModel, compute_cost,
+                        time_execution)
+
+
+class TestMachineModel:
+    def test_vector_fp32_is_half_cost_for_compute(self):
+        m = MachineModel()
+        assert m.op_cycles("arith", 4, True, 100) == pytest.approx(
+            0.5 * m.op_cycles("arith", 8, True, 100))
+
+    def test_vector_loads_better_than_half(self):
+        m = MachineModel()
+        assert m.op_cycles("load", 4, True, 100) < 0.5 * m.op_cycles(
+            "load", 8, True, 100)
+
+    def test_scalar_arith_no_fp32_gain(self):
+        m = MachineModel()
+        assert m.op_cycles("arith", 4, False, 10) == m.op_cycles(
+            "arith", 8, False, 10)
+
+    def test_scalar_transcendental_fp32_gain(self):
+        m = MachineModel()
+        assert m.op_cycles("intr_trans", 4, False, 10) < m.op_cycles(
+            "intr_trans", 8, False, 10)
+
+    def test_vector_widths(self):
+        assert DERECHO.vector_width(4) == 8
+        assert DERECHO.vector_width(8) == 4
+
+    def test_overrides(self):
+        m = DERECHO.with_overrides(frequency_hz=1.0e9)
+        assert m.frequency_hz == 1.0e9
+        assert DERECHO.frequency_hz == 2.45e9  # original untouched
+
+
+def make_ledger():
+    led = Ledger()
+    led.add_op("m::a", "arith", 8, True, 1000)
+    led.add_op("m::b", "intr_trans", 8, False, 10)
+    led.add_call("m::a", "m::b", wrapped=False)
+    led.add_call("m::a", "m::b", wrapped=True)
+    led.add_boundary_cast("m::a", "m::b", 16)
+    led.add_allreduce("m::c", 64)
+    return led
+
+
+class TestCostModel:
+    def test_attribution(self):
+        cost = compute_cost(make_ledger(), DERECHO)
+        assert cost.proc_seconds["m::a"] > 0
+        assert cost.proc_seconds["m::b"] > 0
+        assert cost.proc_seconds["m::c"] > 0
+        assert cost.total_seconds == pytest.approx(
+            sum(cost.proc_seconds.values()))
+
+    def test_call_overhead_skipped_for_inlined(self):
+        led = Ledger()
+        led.add_call("m::a", "m::b", wrapped=False)
+        with_inline = compute_cost(led, DERECHO, inlinable={"b": True})
+        without = compute_cost(led, DERECHO, inlinable={"b": False})
+        assert with_inline.call_overhead_seconds == 0.0
+        assert without.call_overhead_seconds > 0.0
+
+    def test_wrapped_call_always_pays(self):
+        led = Ledger()
+        led.add_call("m::a", "m::b", wrapped=True)
+        cost = compute_cost(led, DERECHO, inlinable={"b": True})
+        assert cost.call_overhead_seconds > 0.0
+
+    def test_allreduce_latency_dominates_small_payload(self):
+        led = Ledger()
+        led.add_allreduce("m::c", 8)
+        cost = compute_cost(led, DERECHO)
+        latency_only = DERECHO.allreduce_latency_cycles / DERECHO.frequency_hz
+        assert cost.allreduce_seconds >= latency_only
+
+    def test_timer_overhead_only_for_timed(self):
+        led = Ledger()
+        led.add_call("m::a", "m::b", wrapped=False)
+        timed = compute_cost(led, DERECHO, inlinable={"b": False},
+                             timed_procs={"m::b"})
+        untimed = compute_cost(led, DERECHO, inlinable={"b": False})
+        assert timed.timer_overhead_seconds > 0
+        assert untimed.timer_overhead_seconds == 0
+
+    def test_share_and_per_call(self):
+        cost = compute_cost(make_ledger(), DERECHO)
+        assert 0 < cost.share({"m::a"}) < 1
+        assert cost.seconds_per_call("m::b") > 0
+
+
+class TestTimers:
+    def test_report_contents(self):
+        report, cost = time_execution(make_ledger(), DERECHO)
+        assert report.total_seconds == pytest.approx(cost.total_seconds)
+        assert report.entry("a") is not None
+        rendered = report.render()
+        assert "m::a" in rendered and "TOTAL" in rendered
+
+    def test_entries_sorted_descending(self):
+        report, _ = time_execution(make_ledger(), DERECHO)
+        secs = [e.total_seconds for e in report.entries]
+        assert secs == sorted(secs, reverse=True)
+
+    def test_share_lookup_by_suffix(self):
+        report, _ = time_execution(make_ledger(), DERECHO)
+        assert report.share(["a"]) > 0
+        assert report.share(["missing"]) == 0.0
+
+
+class TestNoise:
+    def test_deterministic(self):
+        nm = NoiseModel(rsd=0.05, base_seed=42)
+        assert nm.factor("v1", 0) == nm.factor("v1", 0)
+        assert nm.factor("v1", 0) != nm.factor("v1", 1)
+        assert nm.factor("v1", 0) != nm.factor("v2", 0)
+
+    def test_zero_rsd_is_exact(self):
+        nm = NoiseModel(rsd=0.0)
+        assert nm.sample_times(2.0, "x", 3) == [2.0, 2.0, 2.0]
+
+    def test_mean_near_one(self):
+        nm = NoiseModel(rsd=0.09, base_seed=7)
+        factors = [nm.factor(i, 0) for i in range(4000)]
+        assert abs(np.mean(factors) - 1.0) < 0.01
+
+    def test_observed_rsd_matches_parameter(self):
+        quiet = NoiseModel(rsd=0.01).observed_rsd(n_runs=10)
+        noisy = NoiseModel(rsd=0.09).observed_rsd(n_runs=10)
+        assert quiet < 0.05 < noisy * 2
+
+    def test_ledger_merge(self):
+        a = make_ledger()
+        b = make_ledger()
+        total_before = a.total_ops
+        a.merge(b)
+        assert a.total_ops == 2 * total_before
+        assert a.calls[CallKey("m::a", "m::b")][0] == 4
+
+    def test_opkey_is_tuple(self):
+        key = OpKey("p", "arith", 8, True)
+        assert key == ("p", "arith", 8, True)

@@ -1,0 +1,117 @@
+"""Reporting tests: tables, figure series, ASCII scatter, diffs."""
+
+import math
+
+import pytest
+
+from repro.core import (CampaignSummary, DeltaDebugSearch, Evaluator,
+                        FunctionOracle, Outcome)
+from repro.core.evaluation import ProcPerf, VariantRecord
+from repro.models import FunarcCase
+from repro.reporting import (ascii_scatter, procedure_series, render_table1,
+                             render_table2, scatter_from_records, table1,
+                             to_csv, variant_diff, variant_source)
+
+
+@pytest.fixture(scope="module")
+def funarc_search():
+    case = FunarcCase(n=150)
+    ev = Evaluator(case)
+    res = DeltaDebugSearch().run(case.space, FunctionOracle(fn=ev.evaluate))
+    return case, ev, res
+
+
+class TestTables:
+    def test_table1_profiles_models(self, funarc_case):
+        rows = table1([funarc_case])
+        (row,) = rows
+        assert row.model == "funarc"
+        assert 0 < row.cpu_share <= 1
+        assert row.fp_vars == 8
+        text = render_table1(rows)
+        assert "Table I" in text and "funarc" in text
+
+    def test_table2_rendering(self):
+        summaries = [CampaignSummary(
+            model="mpas-a", total=48, pass_pct=37.5, fail_pct=56.2,
+            timeout_pct=6.3, error_pct=0.0, best_speedup=1.95,
+            finished=True)]
+        text = render_table2(summaries)
+        assert "mpas-a" in text
+        assert "(48)" in text          # paper value alongside
+        assert "1.95x (1.95x)" in text
+
+    def test_unfinished_flagged(self):
+        summaries = [CampaignSummary(
+            model="mom6", total=500, pass_pct=20, fail_pct=30,
+            timeout_pct=0, error_pct=50, best_speedup=1.02,
+            finished=False)]
+        assert "did not finish" in render_table2(summaries)
+
+
+class TestFigures:
+    def test_scatter_from_records(self, funarc_search):
+        case, ev, res = funarc_search
+        series = scatter_from_records(res.records, "Fig 5 funarc",
+                                      error_threshold=case.error_threshold)
+        assert len(series.points) == len(res.records)
+        completed = series.completed_points()
+        assert completed
+        assert all(p.x > 0 for p in completed)
+
+    def test_ascii_scatter_renders(self, funarc_search):
+        case, ev, res = funarc_search
+        series = scatter_from_records(res.records, "Fig 5 funarc",
+                                      error_threshold=case.error_threshold)
+        text = ascii_scatter(series)
+        assert "Fig 5 funarc" in text
+        assert "+" in text or "x" in text
+
+    def test_ascii_scatter_empty(self):
+        series = scatter_from_records(
+            [VariantRecord(1, (), 0.0, Outcome.RUNTIME_ERROR)], "empty")
+        assert "no completed variants" in ascii_scatter(series)
+
+    def test_csv_dump(self, funarc_search):
+        case, ev, res = funarc_search
+        series = scatter_from_records(res.records, "fig")
+        text = to_csv(series)
+        lines = text.splitlines()
+        assert lines[0].startswith("variant_id,")
+        assert len(lines) == len(res.records) + 1
+
+    def test_procedure_series_unique_subvariants(self, funarc_search):
+        case, ev, res = funarc_search
+        baseline_perf = {
+            p: (ev.baseline_cost.proc_calls.get(p, 0),
+                ev.baseline_cost.proc_seconds.get(p, 0.0))
+            for p in case.hotspot_procedures
+        }
+        panels = procedure_series(res.records, case.space, baseline_perf,
+                                  sorted(case.hotspot_procedures))
+        fun_panel = panels.get("funarc_mod::fun")
+        assert fun_panel is not None
+        keys = {(p.x, p.y) for p in fun_panel.points}
+        # unique sub-variants: at most 2^3 combinations of fun's atoms
+        assert 1 <= len(fun_panel.points) <= 8
+
+
+class TestDiffs:
+    def test_figure3_diff_shape(self, funarc_case):
+        assignment = funarc_case.space.all_single().with_kinds(
+            {"funarc_mod::funarc::s1": 8})
+        diff = variant_diff(funarc_case.source, assignment)
+        assert "-  real(kind=8) :: s1, h, t1, t2, dppi" in diff.replace(
+            "-    ", "-  ")
+        assert "+" in diff and "real(kind=4)" in diff
+
+    def test_variant_source_is_valid(self, funarc_case):
+        from repro.fortran import analyze, parse_source
+        assignment = funarc_case.space.all_single()
+        text = variant_source(funarc_case.source, assignment)
+        assert analyze(parse_source(text))
+
+    def test_identity_diff_is_empty(self, funarc_case):
+        diff = variant_diff(funarc_case.source,
+                            funarc_case.space.baseline())
+        assert diff == ""

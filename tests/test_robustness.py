@@ -1,0 +1,110 @@
+"""Robustness and determinism guarantees.
+
+The artifact's reproducibility story depends on: campaigns being
+bit-for-bit deterministic (seeded noise, ordered atoms), transformation
+being idempotent, and every variant of every model producing valid,
+re-analyzable Fortran.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (CampaignConfig, DeltaDebugSearch, Evaluator,
+                        FunctionOracle, run_campaign)
+from repro.core.results import record_to_dict
+from repro.fortran import (analyze, apply_assignment, parse_source,
+                           reduce_program, transform_program, unparse)
+from repro.models import AdcircCase, FunarcCase, Mom6Case, MpasCase
+
+
+class TestDeterminism:
+    def test_campaign_bit_for_bit(self):
+        case1 = FunarcCase(n=120)
+        case2 = FunarcCase(n=120)
+        r1 = run_campaign(case1, CampaignConfig())
+        r2 = run_campaign(case2, CampaignConfig())
+        d1 = [record_to_dict(r) for r in r1.records]
+        d2 = [record_to_dict(r) for r in r2.records]
+        assert d1 == d2
+        assert r1.oracle.wall_seconds_used == r2.oracle.wall_seconds_used
+
+    def test_evaluator_rerun_same_record(self, funarc_case):
+        e1 = Evaluator(funarc_case)
+        e2 = Evaluator(funarc_case)
+        a = funarc_case.space.all_single()
+        assert record_to_dict(e1.evaluate(a)) == record_to_dict(
+            e2.evaluate(a))
+
+    def test_search_trace_deterministic(self, funarc_case):
+        runs = []
+        for _ in range(2):
+            ev = Evaluator(funarc_case)
+            res = DeltaDebugSearch().run(
+                funarc_case.space, FunctionOracle(fn=ev.evaluate))
+            runs.append([r.kinds for r in res.records])
+        assert runs[0] == runs[1]
+
+
+class TestIdempotence:
+    def test_transform_twice_is_stable(self):
+        case = FunarcCase()
+        assignment = {"funarc_mod::funarc::h": 4,
+                      "funarc_mod::funarc::t1": 4}
+        once = apply_assignment(case.ast, assignment)
+        twice = apply_assignment(once.ast, assignment)
+        assert unparse(once.ast) == unparse(twice.ast)
+        assert twice.changed == []  # nothing left to change
+
+    def test_reduce_of_reduced_program(self):
+        case = FunarcCase()
+        targets = {"funarc_mod::funarc::h"}
+        red1 = reduce_program(case.index, targets)
+        red2 = reduce_program(red1.index, targets)
+        # Reduction of an already-reduced program keeps the declarations.
+        assert targets <= red2.tainted_symbols
+
+    def test_unparse_parse_fixed_point_for_all_models(self):
+        for case in (FunarcCase(), MpasCase(), AdcircCase(), Mom6Case()):
+            once = unparse(parse_source(case.source))
+            assert unparse(parse_source(once)) == once
+
+
+@pytest.fixture(scope="module")
+def mpas_small_case():
+    return MpasCase.small()
+
+
+@given(st.data())
+@settings(max_examples=15, deadline=None)
+def test_random_variants_transform_to_valid_fortran(data):
+    """Any assignment over any model's atoms must transform to source
+    that re-parses, re-analyzes, and carries the requested kinds."""
+    case = data.draw(st.sampled_from([
+        FunarcCase(), AdcircCase.small(), Mom6Case.small()]))
+    atoms = case.atoms
+    lowered = data.draw(st.sets(
+        st.sampled_from([a.qualified for a in atoms]), max_size=8))
+    assignment = {q: 4 for q in lowered}
+    result = transform_program(case.ast, assignment)
+    text = unparse(result.ast)
+    reanalyzed = analyze(parse_source(text))
+    for qual in lowered:
+        scope, _, name = qual.rpartition("::")
+        sym = reanalyzed.scopes[scope].symbols[name]
+        assert sym.kind == 4
+
+
+class TestOpBudget:
+    def test_cap_scales_with_baseline(self, funarc_case):
+        small = Evaluator(FunarcCase(n=50))
+        big = Evaluator(FunarcCase(n=500))
+        assert big.op_cap > small.op_cap
+
+    def test_mom6_stalled_variant_within_cap(self):
+        """The fp32-stalled Newton must complete (slowly), not trip the
+        op budget — otherwise Fig. 6's slowdown tail would be censored."""
+        case = Mom6Case.small()
+        ev = Evaluator(case)
+        rec = ev.evaluate(case.space.all_single())
+        assert rec.outcome.value in ("pass", "fail")

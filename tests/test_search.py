@@ -1,0 +1,204 @@
+"""Search algorithm tests on synthetic oracles with known structure.
+
+A synthetic oracle lets us assert 1-minimality exactly: the oracle
+accepts an assignment iff a designated set of *critical* atoms stays at
+64-bit, and rewards lowering everything else.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (BruteForceSearch, DeltaDebugSearch, FunctionOracle,
+                        HierarchicalSearch, Outcome, PrecisionAssignment,
+                        RandomSearch, SearchSpace, collect_atoms,
+                        optimal_frontier)
+from repro.core.evaluation import VariantRecord
+from repro.core.search.base import BudgetExhausted, partition
+from repro.fortran import analyze, parse_source
+
+# A module with 10 atoms spread over two procedures.
+SYNTH_SRC = """
+module synth
+  implicit none
+contains
+  subroutine p1(a1, a2, a3, a4, a5)
+    implicit none
+    real(kind=8) :: a1, a2, a3, a4, a5
+    a1 = a2 + a3 + a4 + a5
+  end subroutine p1
+  subroutine p2(b1, b2, b3, b4, b5)
+    implicit none
+    real(kind=8) :: b1, b2, b3, b4, b5
+    b1 = b2 + b3 + b4 + b5
+  end subroutine p2
+end module synth
+"""
+
+
+@pytest.fixture(scope="module")
+def synth_space():
+    index = analyze(parse_source(SYNTH_SRC))
+    return SearchSpace(collect_atoms(index))
+
+
+class SyntheticOracle:
+    """Accepts iff all *critical* atoms stay 64-bit; speedup grows with
+    the lowered fraction."""
+
+    def __init__(self, critical: set[str]):
+        self.critical = critical
+        self.calls = 0
+
+    def __call__(self, assignment: PrecisionAssignment) -> VariantRecord:
+        self.calls += 1
+        lowered = assignment.lowered()
+        ok = not (lowered & self.critical)
+        frac = assignment.fraction_lowered
+        return VariantRecord(
+            variant_id=self.calls,
+            kinds=assignment.key(),
+            fraction_lowered=frac,
+            outcome=Outcome.PASS if ok else Outcome.FAIL,
+            error=0.0 if ok else 1.0,
+            speedup=1.0 + frac,
+            eval_wall_seconds=1.0,
+        )
+
+
+class TestDeltaDebug:
+    def test_finds_exact_minimal_set(self, synth_space):
+        critical = {"synth::p1::a2", "synth::p2::b4"}
+        oracle = SyntheticOracle(critical)
+        res = DeltaDebugSearch().run(
+            synth_space, FunctionOracle(fn=oracle))
+        assert res.finished
+        assert res.final.high() == critical
+
+    def test_one_minimality(self, synth_space):
+        """Lowering any single remaining 64-bit atom must break the
+        oracle — the paper's termination criterion."""
+        critical = {"synth::p1::a1", "synth::p1::a3", "synth::p2::b1"}
+        oracle = SyntheticOracle(critical)
+        res = DeltaDebugSearch().run(synth_space, FunctionOracle(fn=oracle))
+        final = res.final
+        for name in final.high():
+            probe = oracle(final.lower_all([name]))
+            assert not probe.accepted()
+
+    def test_all_lowerable_terminates_fast(self, synth_space):
+        oracle = SyntheticOracle(set())
+        res = DeltaDebugSearch().run(synth_space, FunctionOracle(fn=oracle))
+        assert res.final.fraction_lowered == 1.0
+        assert res.evaluations == 1  # uniform-32 accepted immediately
+
+    def test_nothing_lowerable(self, synth_space):
+        critical = {a.qualified for a in synth_space.atoms}
+        oracle = SyntheticOracle(critical)
+        res = DeltaDebugSearch().run(synth_space, FunctionOracle(fn=oracle))
+        assert res.final.fraction_lowered == 0.0
+        assert res.finished
+
+    def test_budget_exhaustion_partial_result(self, synth_space):
+        critical = {"synth::p1::a2"}
+        oracle = SyntheticOracle(critical)
+        res = DeltaDebugSearch().run(
+            synth_space, FunctionOracle(fn=oracle, max_evaluations=3))
+        assert not res.finished
+        assert res.evaluations <= 3
+
+    def test_performance_criterion_enforced(self, synth_space):
+        """A correct but slower-than-baseline variant is not accepted."""
+        class SlowOracle(SyntheticOracle):
+            def __call__(self, assignment):
+                rec = super().__call__(assignment)
+                rec.speedup = 0.5  # everything is slow
+                return rec
+
+        oracle = SlowOracle(set())
+        res = DeltaDebugSearch().run(synth_space, FunctionOracle(fn=oracle))
+        assert res.final.fraction_lowered == 0.0
+
+    @given(st.sets(st.integers(min_value=0, max_value=9), max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_minimal_equals_critical(self, crit_idx):
+        index = analyze(parse_source(SYNTH_SRC))
+        space = SearchSpace(collect_atoms(index))
+        critical = {space.atoms[i].qualified for i in crit_idx}
+        oracle = SyntheticOracle(critical)
+        res = DeltaDebugSearch().run(space, FunctionOracle(fn=oracle))
+        assert res.final.high() == critical
+
+
+class TestBruteForce:
+    def test_exhaustive_and_best(self, synth_space):
+        sub = synth_space.restricted({
+            "synth::p1::a1", "synth::p1::a2", "synth::p1::a3"})
+        critical = {"synth::p1::a2"}
+        oracle = SyntheticOracle(critical)
+        res = BruteForceSearch().run(sub, FunctionOracle(fn=oracle))
+        assert res.evaluations == 8
+        best = res.best_accepted()
+        assert best is not None
+        # Best accepted lowers both non-critical atoms: 2/3 lowered.
+        assert best.fraction_lowered == pytest.approx(2 / 3)
+
+    def test_frontier_is_pareto(self):
+        recs = [
+            VariantRecord(1, (), 0, Outcome.PASS, error=1e-6, speedup=1.1),
+            VariantRecord(2, (), 0, Outcome.FAIL, error=1e-3, speedup=1.5),
+            VariantRecord(3, (), 0, Outcome.PASS, error=1e-4, speedup=1.2),
+            VariantRecord(4, (), 0, Outcome.FAIL, error=1e-2, speedup=1.4),
+            VariantRecord(5, (), 0, Outcome.RUNTIME_ERROR),
+        ]
+        frontier = optimal_frontier(recs)
+        assert [r.variant_id for r in frontier] == [1, 3, 2]
+
+
+class TestRandomAndHierarchical:
+    def test_random_search_dedupes(self, synth_space):
+        oracle = SyntheticOracle({"synth::p1::a2"})
+        res = RandomSearch(samples=30, seed=5).run(
+            synth_space, FunctionOracle(fn=oracle))
+        keys = [r.kinds for r in res.records]
+        assert len(keys) == len(set(keys))
+
+    def test_random_search_deterministic(self, synth_space):
+        r1 = RandomSearch(samples=10, seed=9).run(
+            synth_space, FunctionOracle(fn=SyntheticOracle(set())))
+        r2 = RandomSearch(samples=10, seed=9).run(
+            synth_space, FunctionOracle(fn=SyntheticOracle(set())))
+        assert [r.kinds for r in r1.records] == [r.kinds for r in r2.records]
+
+    def test_hierarchical_finds_critical_group(self, synth_space):
+        # Whole procedure p1 critical: group stage should keep it 64-bit
+        # and lower all of p2 in few evaluations.
+        critical = {a.qualified for a in synth_space.atoms
+                    if a.scope == "synth::p1"}
+        oracle = SyntheticOracle(critical)
+        res = HierarchicalSearch().run(synth_space, FunctionOracle(fn=oracle))
+        assert res.final.high() == critical
+
+    def test_hierarchical_refines_within_groups(self, synth_space):
+        critical = {"synth::p1::a2"}
+        oracle = SyntheticOracle(critical)
+        res = HierarchicalSearch().run(synth_space, FunctionOracle(fn=oracle))
+        assert res.final.high() == critical
+
+
+class TestHelpers:
+    def test_partition_covers_and_balances(self):
+        items = list(range(10))
+        chunks = partition(items, 3)
+        assert sum(chunks, []) == items
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_partition_more_chunks_than_items(self):
+        assert partition([1, 2], 5) == [[1], [2]]
+
+    def test_outcome_fractions_sum_to_one(self, synth_space):
+        oracle = SyntheticOracle({"synth::p1::a2"})
+        res = DeltaDebugSearch().run(synth_space, FunctionOracle(fn=oracle))
+        assert math.isclose(sum(res.outcome_fractions().values()), 1.0)

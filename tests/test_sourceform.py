@@ -1,0 +1,82 @@
+"""Tests for free-form source handling: comments, continuations,
+semicolons, and diagnostics."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.fortran.sourceform import LogicalLine, logical_lines
+
+
+def texts(src):
+    return [ll.text for ll in logical_lines(src)]
+
+
+class TestComments:
+    def test_full_line_comment_dropped(self):
+        assert texts("! a comment\nx = 1") == ["x = 1"]
+
+    def test_trailing_comment_stripped(self):
+        assert texts("x = 1 ! set x") == ["x = 1"]
+
+    def test_bang_inside_single_quotes_kept(self):
+        assert texts("print *, 'hello ! world'") == \
+            ["print *, 'hello ! world'"]
+
+    def test_bang_inside_double_quotes_kept(self):
+        assert texts('s = "a!b"') == ['s = "a!b"']
+
+    def test_doubled_quote_escape(self):
+        # The doubled '' is an escaped quote, not the end of the literal.
+        assert texts("print *, 'it''s ! fine'") == ["print *, 'it''s ! fine'"]
+
+    def test_unterminated_string_raises_with_line(self):
+        with pytest.raises(LexError) as exc:
+            logical_lines("x = 1\ny = 'oops")
+        assert exc.value.line == 2
+
+
+class TestContinuations:
+    def test_simple_continuation_joined(self):
+        assert texts("x = 1 + &\n    2") == ["x = 1 + 2"]
+
+    def test_leading_ampersand_consumed(self):
+        assert texts("x = 1 + &\n  & 2") == ["x = 1 + 2"]
+
+    def test_multiline_continuation(self):
+        src = "call foo(a, &\n  b, &\n  c)"
+        assert texts(src) == ["call foo(a, b, c)"]
+
+    def test_lineno_is_first_physical_line(self):
+        lls = logical_lines("\n\nx = 1 + &\n 2\n")
+        assert lls == [LogicalLine("x = 1 + 2", 3)]
+
+    def test_comment_line_inside_continuation_ignored(self):
+        src = "x = 1 + &\n! interleaved comment\n  2"
+        assert texts(src) == ["x = 1 + 2"]
+
+    def test_dangling_continuation_raises(self):
+        with pytest.raises(LexError):
+            logical_lines("x = 1 + &\n")
+
+
+class TestSemicolons:
+    def test_semicolon_splits_statements(self):
+        assert texts("a = 1; b = 2") == ["a = 1", "b = 2"]
+
+    def test_semicolon_in_string_not_split(self):
+        assert texts("print *, 'a;b'") == ["print *, 'a;b'"]
+
+    def test_trailing_semicolon_no_empty_statement(self):
+        assert texts("a = 1;") == ["a = 1"]
+
+
+class TestGeneral:
+    def test_blank_lines_skipped(self):
+        assert texts("\n\n  \n x = 1 \n\n") == ["x = 1"]
+
+    def test_line_numbers_preserved(self):
+        lls = logical_lines("a = 1\n\nb = 2")
+        assert [(l.text, l.lineno) for l in lls] == [("a = 1", 1), ("b = 2", 3)]
+
+    def test_empty_source(self):
+        assert logical_lines("") == []

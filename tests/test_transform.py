@@ -1,0 +1,200 @@
+"""Source transformation tests: retyping, declaration splitting, wrappers,
+and the Figure 3/4 shapes."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.fortran import (analyze, apply_assignment, parse_source,
+                           transform_program, unparse)
+from repro.models.funarc import FUNARC_SOURCE
+
+
+@pytest.fixture(scope="module")
+def funarc_ast():
+    return parse_source(FUNARC_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def funarc_index(funarc_ast):
+    return analyze(funarc_ast)
+
+
+class TestRetyping:
+    def test_figure3_declaration_split(self, funarc_ast):
+        """The paper's Figure 3: lowering everything except s1 splits the
+        multi-entity declaration."""
+        assignment = {
+            "funarc_mod::funarc::h": 4,
+            "funarc_mod::funarc::t1": 4,
+            "funarc_mod::funarc::t2": 4,
+            "funarc_mod::funarc::dppi": 4,
+        }
+        result = apply_assignment(funarc_ast, assignment)
+        out = unparse(result.ast)
+        assert "real(kind=8) :: s1" in out
+        assert "real(kind=4) :: h, t1, t2, dppi" in out
+
+    def test_original_ast_untouched(self, funarc_ast):
+        before = unparse(funarc_ast)
+        apply_assignment(funarc_ast, {"funarc_mod::fun::d1": 4})
+        assert unparse(funarc_ast) == before
+
+    def test_changed_list(self, funarc_ast):
+        result = apply_assignment(funarc_ast, {"funarc_mod::fun::d1": 4})
+        assert result.changed == ["funarc_mod::fun::d1"]
+
+    def test_noop_assignment_changes_nothing(self, funarc_ast):
+        result = apply_assignment(funarc_ast, {"funarc_mod::fun::d1": 8})
+        assert result.changed == []
+        assert unparse(result.ast) == unparse(funarc_ast)
+
+    def test_unknown_variable_rejected(self, funarc_ast):
+        with pytest.raises(TransformError):
+            apply_assignment(funarc_ast, {"funarc_mod::fun::nope": 4})
+
+    def test_transformed_program_reanalyzes(self, funarc_ast):
+        result = apply_assignment(funarc_ast, {"funarc_mod::fun::x": 4})
+        sym = result.index.resolve("funarc_mod::fun", "x")
+        assert sym.kind == 4
+
+    def test_intent_and_dims_survive(self):
+        src = """
+subroutine s(n, a, out)
+  implicit none
+  integer :: n
+  real(kind=8), dimension(n), intent(in) :: a
+  real(kind=8), intent(out) :: out
+  out = sum(a)
+end subroutine s
+"""
+        ast = parse_source(src)
+        result = apply_assignment(ast, {"s::a": 4})
+        text = unparse(result.ast)
+        assert "real(kind=4), dimension(n), intent(in) :: a" in text
+        assert "intent(out) :: out" in text
+
+
+class TestWrapperGeneration:
+    def test_figure4_wrapper_shape(self, funarc_ast):
+        """Lowering the caller but keeping fun() at 64-bit requires the
+        paper's Figure 4 wrapper, including its name."""
+        funarc_vars = ["s1", "h", "t1", "t2", "dppi", "result"]
+        assignment = {f"funarc_mod::funarc::{v}": 4 for v in funarc_vars}
+        result = transform_program(funarc_ast, assignment)
+        assert result.wrappers == ["fun_wrapper_4_to_8"]
+        out = unparse(result.ast)
+        assert "function fun_wrapper_4_to_8(x) result(output)" in out
+        assert "real(kind=8) :: x_temp" in out
+        assert "x_temp = x" in out
+        assert "output = fun(x_temp)" in out
+        # Function dummy without intent: no write-back, as in Fig. 4.
+        assert "x = x_temp" not in out
+        # The call site is rewritten.
+        assert "fun_wrapper_4_to_8(i * h)" in out
+
+    def test_no_wrapper_when_uniform(self, funarc_ast):
+        assignment = {s.qualified: 4
+                      for s in analyze(funarc_ast).fp_symbols()}
+        result = transform_program(funarc_ast, assignment)
+        assert result.wrappers == []
+
+    def test_subroutine_wrapper_writes_back(self):
+        src = """
+module m
+contains
+  subroutine inner(a)
+    implicit none
+    real(kind=8) :: a
+    a = a + 1.0d0
+  end subroutine inner
+
+  subroutine outer(b)
+    implicit none
+    real(kind=4) :: b
+    call inner(b)
+  end subroutine outer
+end module m
+"""
+        ast = parse_source(src)
+        result = transform_program(ast, {})
+        out = unparse(result.ast)
+        assert "inner_wrapper_4_to_8" in out
+        assert "a = a_temp" in out  # subroutine dummies write back
+
+    def test_intent_in_wrapper_skips_writeback(self):
+        src = """
+module m
+contains
+  subroutine inner(a, out)
+    implicit none
+    real(kind=8), intent(in) :: a
+    real(kind=8), intent(out) :: out
+    out = a * 2.0d0
+  end subroutine inner
+
+  subroutine outer(b, res)
+    implicit none
+    real(kind=4) :: b
+    real(kind=8) :: res
+    call inner(b, res)
+  end subroutine outer
+end module m
+"""
+        result = transform_program(parse_source(src), {})
+        out = unparse(result.ast)
+        assert "a_temp = a" in out
+        assert "a = a_temp" not in out
+
+    def test_one_wrapper_per_signature(self):
+        src = """
+module m
+contains
+  function f(v) result(w)
+    implicit none
+    real(kind=8) :: v, w
+    w = v
+  end function f
+
+  subroutine caller(a, b, o1, o2)
+    implicit none
+    real(kind=4) :: a, b
+    real(kind=4) :: o1, o2
+    o1 = f(a)
+    o2 = f(b)
+  end subroutine caller
+end module m
+"""
+        result = transform_program(parse_source(src), {})
+        assert len(result.wrappers) == 1
+
+    def test_array_argument_wrapper(self):
+        src = """
+module m
+contains
+  subroutine kernel(n, x)
+    implicit none
+    integer :: n
+    real(kind=8), dimension(n) :: x
+    x(:) = x(:) * 2.0d0
+  end subroutine kernel
+
+  subroutine driver(n, y)
+    implicit none
+    integer :: n
+    real(kind=4), dimension(n) :: y
+    call kernel(n, y)
+  end subroutine driver
+end module m
+"""
+        result = transform_program(parse_source(src), {})
+        out = unparse(result.ast)
+        assert "kernel_wrapper_4_to_8" in out
+        assert "real(kind=8) :: x_temp(n)" in out
+
+    def test_transformed_source_is_reparsable(self, funarc_ast):
+        assignment = {f"funarc_mod::funarc::{v}": 4
+                      for v in ["s1", "h", "t1", "t2", "dppi", "result"]}
+        result = transform_program(funarc_ast, assignment)
+        text = unparse(result.ast)
+        reparsed = analyze(parse_source(text))
+        assert "funarc_mod::fun_wrapper_4_to_8" in reparsed.procedures

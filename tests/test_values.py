@@ -1,0 +1,133 @@
+"""Value model tests: FArray semantics, kind logic; hypothesis properties."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import FortranRuntimeError
+from repro.fortran.values import (FArray, cast_real, dtype_for_kind,
+                                  element_count, kind_of, promote_kinds,
+                                  real_scalar)
+
+
+class TestFArray:
+    def test_custom_lower_bounds(self):
+        a = FArray(np.arange(5, dtype=np.float64), (0,), 8)
+        assert a.get((0,)) == 0.0
+        assert a.get((4,)) == 4.0
+        assert a.lbound(1) == 0 and a.ubound(1) == 4
+
+    def test_out_of_bounds_raises(self):
+        a = FArray(np.zeros(3, dtype=np.float64), (1,), 8)
+        with pytest.raises(FortranRuntimeError):
+            a.get((0,))
+        with pytest.raises(FortranRuntimeError):
+            a.get((4,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(FortranRuntimeError):
+            FArray(np.zeros((2, 2)), (1,), 8)
+
+    def test_set_and_get_2d(self):
+        a = FArray(np.zeros((3, 4), dtype=np.float32), (1, 1), 4)
+        a.set((2, 3), 7.0)
+        assert a.get((2, 3)) == np.float32(7.0)
+
+    def test_integer_array_returns_python_int(self):
+        a = FArray(np.arange(3, dtype=np.int64), (1,), None)
+        v = a.get((2,))
+        assert isinstance(v, int) and v == 1
+
+    def test_astype_kind_preserves_bounds(self):
+        a = FArray(np.ones(4, dtype=np.float64), (0,), 8)
+        b = a.astype_kind(4)
+        assert b.kind == 4 and b.lbounds == (0,)
+        assert b.data.dtype == np.float32
+
+
+class TestKindOf:
+    @pytest.mark.parametrize("value,expected", [
+        (np.float32(1.0), 4),
+        (np.float64(1.0), 8),
+        (1.5, 8),
+        (1, None),
+        (True, None),
+        ("s", None),
+    ])
+    def test_scalars(self, value, expected):
+        assert kind_of(value) == expected
+
+    def test_farray_kind(self):
+        assert kind_of(FArray(np.zeros(2, dtype=np.float32), (1,), 4)) == 4
+
+    def test_ndarray_kind(self):
+        assert kind_of(np.zeros(2, dtype=np.float64)) == 8
+        assert kind_of(np.zeros(2, dtype=np.int64)) is None
+
+
+class TestCastAndCount:
+    def test_cast_real_rounds(self):
+        v = cast_real(np.float64(0.1), 4)
+        assert v.dtype == np.float32
+        assert v != np.float64(0.1)  # 0.1 is inexact; rounding visible
+
+    def test_element_count(self):
+        assert element_count(np.float32(1)) == 1
+        assert element_count(FArray(np.zeros((2, 3)), (1, 1), 8)) == 6
+
+    def test_dtype_for_bad_kind(self):
+        with pytest.raises(FortranRuntimeError):
+            dtype_for_kind(16)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False,
+                           width=32)  # representable in both kinds
+
+
+@given(finite_doubles)
+@settings(max_examples=200, deadline=None)
+def test_cast_round_trip_through_double_is_identity(x):
+    """fp32 -> fp64 -> fp32 must be exact (fp32 ⊂ fp64)."""
+    f32 = real_scalar(x, 4)
+    back = cast_real(cast_real(f32, 8), 4)
+    assert back == f32 or (np.isnan(back) and np.isnan(f32))
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+@settings(max_examples=200, deadline=None)
+def test_downcast_error_bounded_by_eps32(x):
+    """|fl32(x) - x| <= eps32 * |x| for normal-range values."""
+    if x != 0.0 and (abs(x) < 1e-30 or abs(x) > 1e30):
+        return  # stay in fp32 normal range
+    lo = float(cast_real(np.float64(x), 4))
+    assert abs(lo - x) <= 1.2e-7 * abs(x) + 1e-38
+
+
+@given(st.sampled_from([None, 4, 8]), st.sampled_from([None, 4, 8]))
+def test_promote_kinds_properties(k1, k2):
+    out = promote_kinds(k1, k2)
+    assert out in (4, 8)
+    assert promote_kinds(k1, k2) == promote_kinds(k2, k1)
+    if 8 in (k1, k2):
+        assert out == 8
+
+
+@given(st.lists(st.integers(min_value=-5, max_value=5), min_size=1,
+                max_size=4),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_farray_index_bijection(lbounds, extent):
+    """get(set(i, v)) == v at every valid index for any lower bounds."""
+    shape = tuple(extent for _ in lbounds)
+    a = FArray(np.zeros(shape, dtype=np.float64), tuple(lbounds), 8)
+    idx = tuple(lb + extent - 1 for lb in lbounds)
+    a.set(idx, 3.5)
+    assert a.get(idx) == 3.5
+    first = tuple(lbounds)
+    a.set(first, -1.25)
+    assert a.get(first) == -1.25
