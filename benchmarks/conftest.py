@@ -30,6 +30,25 @@ CAMPAIGN_CONFIG = CampaignConfig(nodes=20, wall_budget_seconds=12 * 3600,
                                  max_evaluations=900)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=1,
+        help="worker processes for campaign evaluation (results are "
+             "bit-identical to serial; see EXPERIMENTS.md)")
+    parser.addoption(
+        "--cache-dir", default=None,
+        help="persistent variant-result cache shared across bench runs")
+
+
+@pytest.fixture(scope="session")
+def bench_config(request):
+    """CAMPAIGN_CONFIG with the session's execution knobs applied."""
+    from dataclasses import replace
+    return replace(CAMPAIGN_CONFIG,
+                   workers=request.config.getoption("--workers"),
+                   cache_dir=request.config.getoption("--cache-dir"))
+
+
 def _dump(name, records):
     save_records(records, OUT_DIR / f"{name}_records.json")
 
@@ -46,37 +65,37 @@ def funarc_brute():
 
 
 @pytest.fixture(scope="session")
-def mpas_campaign():
+def mpas_campaign(bench_config):
     case = MpasCase(error_threshold=MPAS_THRESHOLD)
-    result = run_campaign(case, CAMPAIGN_CONFIG)
+    result = run_campaign(case, bench_config)
     _dump("fig5_mpas", result.records)
     return result
 
 
 @pytest.fixture(scope="session")
-def adcirc_campaign():
+def adcirc_campaign(bench_config):
     case = AdcircCase()
-    result = run_campaign(case, CAMPAIGN_CONFIG)
+    result = run_campaign(case, bench_config)
     _dump("fig5_adcirc", result.records)
     return result
 
 
 @pytest.fixture(scope="session")
-def mom6_campaign():
+def mom6_campaign(bench_config):
     case = Mom6Case()
-    result = run_campaign(case, CAMPAIGN_CONFIG)
+    result = run_campaign(case, bench_config)
     _dump("fig5_mom6", result.records)
     return result
 
 
 @pytest.fixture(scope="session")
-def mpas_whole_campaign():
+def mpas_whole_campaign(bench_config):
     """Section IV-C / Figure 7: Eq. 1 on the whole model.  The search
     grinds through many statistically equivalent no-win variants, so the
     evaluation cap is tighter than the hotspot campaigns'."""
+    from dataclasses import replace
     case = MpasCase.whole_model(error_threshold=MPAS_THRESHOLD)
-    config = CampaignConfig(nodes=20, wall_budget_seconds=12 * 3600,
-                            max_evaluations=380)
+    config = replace(bench_config, max_evaluations=380)
     result = run_campaign(case, config)
     _dump("fig7_mpas_whole", result.records)
     return result

@@ -32,7 +32,7 @@ def test_bench_fig2_funarc_sweep(benchmark, funarc_brute):
     # cost of the 256-variant figure).
     fresh = Evaluator(case)
     benchmark.pedantic(
-        lambda: fresh._evaluate_uncached(case.space.all_single(), 0),
+        lambda: fresh.evaluate_assigned(case.space.all_single(), 0),
         rounds=3, iterations=1)
 
     records = result.records

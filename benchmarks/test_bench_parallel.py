@@ -1,0 +1,50 @@
+"""Bench: the parallel evaluation engine against the serial baseline.
+
+Three runs of the exhaustive funarc sweep — serial, 4 workers, and a
+cache-warm rerun — must produce byte-identical campaign payloads (the
+determinism contract of ``repro.core.parallel``).  On multi-core hosts
+the 4-worker sweep must also beat serial wall-clock; the cache-warm
+rerun must beat the cold run everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+from repro.core import BruteForceSearch, CampaignConfig, run_campaign
+from repro.models import FunarcCase
+
+SWEEP_CONFIG = CampaignConfig(nodes=20, wall_budget_seconds=12 * 3600,
+                              max_evaluations=900)
+
+
+def _sweep(workers: int, cache_dir=None):
+    config = replace(SWEEP_CONFIG, workers=workers, cache_dir=cache_dir)
+    started = time.perf_counter()
+    result = run_campaign(FunarcCase(n=400), config,
+                          algorithm=BruteForceSearch())
+    return result, time.perf_counter() - started
+
+
+def test_parallel_sweep_matches_serial_bytes(tmp_path):
+    serial, serial_wall = _sweep(workers=1)
+    assert len(serial.records) == 256
+
+    parallel, parallel_wall = _sweep(workers=4)
+    assert parallel.to_json() == serial.to_json()
+    dispatched = sum(b.dispatched for b in parallel.oracle.telemetry)
+    assert dispatched == 256
+
+    if (os.cpu_count() or 1) > 1:
+        # Only meaningful with real cores to fan out to.
+        assert parallel_wall < serial_wall
+
+    cache_dir = str(tmp_path / "sweep-cache")
+    cold, cold_wall = _sweep(workers=1, cache_dir=cache_dir)
+    warm, warm_wall = _sweep(workers=1, cache_dir=cache_dir)
+    assert cold.to_json() == serial.to_json()
+    assert warm.to_json() == serial.to_json()
+    assert sum(b.disk_hits for b in warm.oracle.telemetry) == 256
+    assert warm_wall < cold_wall

@@ -19,7 +19,7 @@ from typing import Optional
 from .analysis import assess_hotspot, build_dataflow
 from .core import (CampaignConfig, DeltaDebugSearch, Evaluator,
                    HierarchicalSearch, RandomSearch, ScreenedDeltaDebug,
-                   run_campaign)
+                   make_oracle, run_campaign)
 from .core.results import save_records
 from .fortran import reduce_program, unparse
 from .models import MODEL_FACTORIES, get_model
@@ -28,6 +28,17 @@ from .reporting import (ascii_scatter, scatter_from_records, variant_diff,
                         variant_source)
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_execution_args(p: argparse.ArgumentParser) -> None:
+    """Evaluation-engine knobs shared by the dynamic commands."""
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for variant evaluation "
+                        "(default 1 = in-process; results are "
+                        "bit-identical either way)")
+    p.add_argument("--cache-dir", default=None,
+                   help="directory for the persistent variant-result "
+                        "cache (reruns skip already-evaluated variants)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("assess", help="tunability criteria (paper section V)")
     p.add_argument("model")
+    p.add_argument("--probe", action="store_true",
+                   help="also evaluate the uniform-32 variant through the "
+                        "evaluation engine (a dynamic supplement to the "
+                        "static criteria)")
+    _add_execution_args(p)
 
     p = sub.add_parser("tune", help="run a precision-tuning search")
     p.add_argument("model")
@@ -59,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the correctness threshold")
     p.add_argument("--out", default=None,
                    help="write raw variant records (JSON) to this path")
+    _add_execution_args(p)
 
     p = sub.add_parser("transform",
                        help="apply a precision assignment to the source")
@@ -125,7 +142,34 @@ def _cmd_assess(args) -> int:
         info = case.vec_info.procs.get(qual)
         if info and info.loops:
             print(info.report())
+    if args.probe or args.workers > 1 or args.cache_dir:
+        config = CampaignConfig(workers=args.workers,
+                                cache_dir=args.cache_dir)
+        oracle = make_oracle(case, config)
+        try:
+            records = oracle.evaluate_batch(
+                [case.space.baseline(), case.space.all_single()])
+        finally:
+            oracle.close()
+        base, low = records
+        print("\ndynamic probe (uniform 32-bit vs baseline):")
+        print(f"  outcome {low.outcome.name}  speedup {low.speedup:.3f}x  "
+              f"error {low.error:.3e}  (threshold {case.error_threshold:.1e})")
+        _print_telemetry(oracle)
     return 0
+
+
+def _print_telemetry(oracle) -> None:
+    t = oracle.telemetry
+    if not t:
+        return
+    print(f"evaluation engine: {len(t)} batches  "
+          f"dispatched {sum(b.dispatched for b in t)}  "
+          f"cache hits {sum(b.cache_hits for b in t)} "
+          f"({sum(b.disk_hits for b in t)} from disk)  "
+          f"retries {sum(b.retries for b in t)}  "
+          f"failures {sum(b.failures for b in t)}  "
+          f"real {sum(b.wall_seconds for b in t):.2f}s")
 
 
 def _cmd_tune(args) -> int:
@@ -146,15 +190,20 @@ def _cmd_tune(args) -> int:
     config = CampaignConfig(
         wall_budget_seconds=args.budget_hours * 3600.0,
         max_evaluations=args.max_evals,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     result = run_campaign(case, config, algorithm=algorithm)
     summary = result.summary()
+    if result.preprocessing_note:
+        print(f"note: {result.preprocessing_note}")
     print(f"\nvariants: {summary.total}  pass {summary.pass_pct:.1f}%  "
           f"fail {summary.fail_pct:.1f}%  timeout {summary.timeout_pct:.1f}%  "
           f"error {summary.error_pct:.1f}%")
     print(f"best speedup (passing): {summary.best_speedup:.3f}x  "
           f"finished: {summary.finished}  "
           f"simulated wall: {result.wall_hours():.1f} h")
+    _print_telemetry(result.oracle)
 
     final = result.search.final_record
     if final is not None:

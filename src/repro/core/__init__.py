@@ -11,10 +11,13 @@ wall-clock budgets (`campaign`).
 
 from .assignment import PrecisionAssignment
 from .atoms import SearchAtom, collect_atoms
-from .campaign import (BudgetedOracle, CampaignConfig, CampaignResult,
-                       CampaignSummary, run_campaign)
+from .cache import ResultCache, evaluation_context
+from .campaign import (BatchTelemetry, BudgetedOracle, CampaignConfig,
+                       CampaignResult, CampaignSummary, make_oracle,
+                       run_campaign)
 from .classification import Outcome
 from .evaluation import Evaluator, ProcPerf, VariantRecord
+from .parallel import ParallelOracle, WorkerSpec
 from .metrics import (choose_n_runs, l2_over_axis, median_time,
                       relative_error, speedup_eq1)
 from .searchspace import SearchSpace
@@ -23,11 +26,12 @@ from .search import (BruteForceSearch, DeltaDebugSearch, FunctionOracle,
                      SearchResult, optimal_frontier)
 
 __all__ = [
-    "PrecisionAssignment", "SearchAtom", "collect_atoms", "BudgetedOracle",
-    "CampaignConfig", "CampaignResult", "CampaignSummary", "run_campaign",
-    "Outcome", "Evaluator", "ProcPerf", "VariantRecord", "choose_n_runs",
-    "l2_over_axis", "median_time", "relative_error", "speedup_eq1",
-    "SearchSpace", "BruteForceSearch", "DeltaDebugSearch", "FunctionOracle",
-    "HierarchicalSearch", "RandomSearch", "ScreenedDeltaDebug",
-    "SearchResult", "optimal_frontier",
+    "PrecisionAssignment", "SearchAtom", "collect_atoms", "BatchTelemetry",
+    "BudgetedOracle", "CampaignConfig", "CampaignResult", "CampaignSummary",
+    "make_oracle", "run_campaign", "Outcome", "Evaluator", "ProcPerf",
+    "VariantRecord", "ParallelOracle", "WorkerSpec", "ResultCache",
+    "evaluation_context", "choose_n_runs", "l2_over_axis", "median_time",
+    "relative_error", "speedup_eq1", "SearchSpace", "BruteForceSearch",
+    "DeltaDebugSearch", "FunctionOracle", "HierarchicalSearch",
+    "RandomSearch", "ScreenedDeltaDebug", "SearchResult", "optimal_frontier",
 ]

@@ -10,29 +10,43 @@ expires (which is how the MOM6 search ended).
 
 Wall-clock accounting is simulated: a batch costs the *maximum* of its
 members' evaluation times over ceil(len/20) waves, plus the one-time T0
-cost (~1% of the experiment, per the artifact appendix).
+cost (~1% of the experiment, per the artifact appendix).  An assignment
+already known to the evaluator (or the persistent result cache) costs
+~0 node-seconds — nothing is rebuilt or rerun for it.
+
+Set ``CampaignConfig.workers > 1`` to map the simulated node pool onto
+real worker processes (see :mod:`repro.core.parallel`), and
+``cache_dir`` to persist results across campaigns
+(:mod:`repro.core.cache`).  Both paths are bit-identical to serial
+in-process evaluation; the determinism suite in
+``tests/test_parallel.py`` enforces this.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import CampaignError
+from ..errors import CampaignError, ReproError
 from .assignment import PrecisionAssignment
+from .cache import ResultCache
 from .classification import Outcome
 from .evaluation import Evaluator, VariantRecord
+from .results import search_result_to_dict
 from .search.base import BatchOracle, BudgetExhausted, SearchResult
 from .search.deltadebug import DeltaDebugSearch
 
 __all__ = ["CampaignConfig", "CampaignSummary", "CampaignResult",
-           "BudgetedOracle", "run_campaign"]
+           "BatchTelemetry", "BudgetedOracle", "make_oracle",
+           "run_campaign"]
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Experiment-level constants (paper §IV-A)."""
+    """Experiment-level constants (paper §IV-A) plus execution knobs."""
 
     nodes: int = 20
     wall_budget_seconds: float = 12 * 3600.0
@@ -40,16 +54,68 @@ class CampaignConfig:
     min_speedup: float = 1.0
     max_evaluations: int = 2000   # safety net far above any real search
 
+    # -- real execution (repro.core.parallel / repro.core.cache) ----------
+    workers: int = 1                        # >1 fans batches out to processes
+    cache_dir: Optional[str] = None         # persistent result cache location
+    worker_timeout_seconds: float = 120.0   # hard per-variant wall timeout
+    worker_retries: int = 2                 # attempts beyond the first
+
+
+@dataclass
+class BatchTelemetry:
+    """Structured observability record for one evaluated batch."""
+
+    batch_index: int
+    size: int                 # assignments in the batch
+    dispatched: int           # cache misses sent for evaluation
+    completed: int            # dispatched variants that produced a record
+    cache_hits: int           # served from memory or disk (~0 node-seconds)
+    disk_hits: int            # subset of cache_hits served from disk
+    retries: int              # worker attempts repeated after crash/hang
+    failures: int             # variants downgraded to an error outcome
+    wall_seconds: float       # real elapsed time for the batch
+    sim_seconds: float        # simulated node-pool charge
+
+    def as_dict(self) -> dict:
+        return {
+            "batch_index": self.batch_index, "size": self.size,
+            "dispatched": self.dispatched, "completed": self.completed,
+            "cache_hits": self.cache_hits, "disk_hits": self.disk_hits,
+            "retries": self.retries, "failures": self.failures,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+
+
+@dataclass
+class _BatchStats:
+    """Mutable counters threaded through one ``_evaluate`` call."""
+
+    dispatched: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    disk_hits: int = 0
+    retries: int = 0
+    failures: int = 0
+
 
 @dataclass
 class BudgetedOracle:
-    """Batch oracle enforcing the node pool and wall-clock budget."""
+    """Batch oracle enforcing the node pool and wall-clock budget.
+
+    Evaluates serially in-process; :class:`repro.core.parallel
+    .ParallelOracle` overrides :meth:`_evaluate` to fan batches out to a
+    worker pool.  Both honour the persistent result cache and charge ~0
+    simulated node-seconds for cache hits.
+    """
 
     evaluator: Evaluator
     config: CampaignConfig
+    cache: Optional[ResultCache] = None
     wall_seconds_used: float = 0.0
     evaluations: int = 0
     batch_log: list[tuple[int, float]] = field(default_factory=list)
+    telemetry: list[BatchTelemetry] = field(default_factory=list)
 
     def evaluate_batch(
         self, assignments: list[PrecisionAssignment]
@@ -61,19 +127,92 @@ class BudgetedOracle:
             raise BudgetExhausted(
                 f"evaluation cap {self.config.max_evaluations} reached")
 
-        records = [self.evaluator.evaluate(a) for a in assignments]
+        started = time.perf_counter()
+        records, hit_flags, stats = self._evaluate(assignments)
         self.evaluations += len(assignments)
 
         # Node-pool scheduling: variants run in waves of `nodes`; a wave
-        # takes as long as its slowest member.
+        # takes as long as its slowest member.  Cache hits occupy no node
+        # (nothing is compiled or run for them), so they are free.
+        effective = [0.0 if hit else r.eval_wall_seconds
+                     for r, hit in zip(records, hit_flags)]
         waves = max(1, math.ceil(len(records) / self.config.nodes))
         batch_seconds = 0.0
         for w in range(waves):
-            wave = records[w * self.config.nodes:(w + 1) * self.config.nodes]
-            batch_seconds += max(r.eval_wall_seconds for r in wave)
+            wave = effective[w * self.config.nodes:(w + 1) * self.config.nodes]
+            batch_seconds += max(wave, default=0.0)
         self.wall_seconds_used += batch_seconds
         self.batch_log.append((len(records), batch_seconds))
+        self.telemetry.append(BatchTelemetry(
+            batch_index=len(self.telemetry), size=len(assignments),
+            dispatched=stats.dispatched, completed=stats.completed,
+            cache_hits=stats.cache_hits, disk_hits=stats.disk_hits,
+            retries=stats.retries, failures=stats.failures,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=batch_seconds,
+        ))
         return records
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(
+        self, assignments: list[PrecisionAssignment]
+    ) -> tuple[list[VariantRecord], list[bool], _BatchStats]:
+        """Resolve one batch: (records, per-record cache-hit flags, stats).
+
+        Variant ids are reserved in batch order for cache misses — the
+        invariant every execution backend must preserve, because ids key
+        the Eq.-1 noise sampling.
+        """
+        stats = _BatchStats()
+        records: list[VariantRecord] = []
+        hit_flags: list[bool] = []
+        for assignment in assignments:
+            record = self.evaluator.lookup(assignment)
+            hit = record is not None
+            if record is None:
+                vid = self.evaluator.reserve_id()
+                if self.cache is not None:
+                    record = self.cache.get(assignment.key(), vid)
+                if record is not None:
+                    hit = True
+                    stats.disk_hits += 1
+                    self.evaluator.admit(record)
+                else:
+                    record = self.evaluator.evaluate_assigned(assignment, vid)
+                    self.evaluator.admit(record)
+                    if self.cache is not None:
+                        self.cache.put(record)
+                    stats.dispatched += 1
+                    stats.completed += 1
+            if hit:
+                stats.cache_hits += 1
+            records.append(record)
+            hit_flags.append(hit)
+        return records, hit_flags, stats
+
+    def close(self) -> None:
+        """Release execution resources (worker pools); idempotent."""
+
+
+def make_oracle(
+    model,                                  # repro.models.base.ModelCase
+    config: CampaignConfig,
+    evaluator: Optional[Evaluator] = None,
+    seed: int = 2024,
+) -> BudgetedOracle:
+    """The oracle for *config*: serial, cached, and/or process-parallel."""
+    if evaluator is None:
+        evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
+                              seed=seed)
+    cache = None
+    if config.cache_dir:
+        cache = ResultCache.for_evaluator(config.cache_dir, evaluator)
+    if config.workers > 1:
+        from .parallel import ParallelOracle
+        return ParallelOracle.for_model(model, config=config,
+                                        evaluator=evaluator, cache=cache)
+    return BudgetedOracle(evaluator=evaluator, config=config, cache=cache)
 
 
 @dataclass
@@ -103,6 +242,7 @@ class CampaignResult:
     evaluator: Evaluator
     oracle: BudgetedOracle
     preprocessing_seconds: float = 0.0
+    preprocessing_note: str = ""
 
     @property
     def records(self) -> list[VariantRecord]:
@@ -132,6 +272,20 @@ class CampaignResult:
         return (self.oracle.wall_seconds_used
                 + self.preprocessing_seconds) / 3600.0
 
+    def to_json(self) -> str:
+        """Canonical serialization of everything the search decided.
+
+        Deliberately excludes execution telemetry (real wall times, cache
+        and worker counters): the payload must be byte-identical across
+        worker counts and cache states — the determinism contract the
+        tests pin down.
+        """
+        return json.dumps({
+            "model": self.model_name,
+            "preprocessing_note": self.preprocessing_note,
+            "search": search_result_to_dict(self.search),
+        }, sort_keys=True)
+
 
 def run_campaign(
     model,                                  # repro.models.base.ModelCase
@@ -139,16 +293,30 @@ def run_campaign(
     algorithm=None,
     evaluator: Optional[Evaluator] = None,
     seed: int = 2024,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> CampaignResult:
-    """Run the full tuning campaign for one model case."""
+    """Run the full tuning campaign for one model case.
+
+    *workers* / *cache_dir* override the corresponding
+    :class:`CampaignConfig` fields (convenience for callers that keep a
+    shared config).
+    """
     config = config or CampaignConfig()
+    if workers is not None or cache_dir is not None:
+        from dataclasses import replace
+        config = replace(
+            config,
+            workers=config.workers if workers is None else workers,
+            cache_dir=config.cache_dir if cache_dir is None else cache_dir,
+        )
     if evaluator is None:
         evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
                               seed=seed)
     if algorithm is None:
         algorithm = DeltaDebugSearch(min_speedup=config.min_speedup)
 
-    oracle = BudgetedOracle(evaluator=evaluator, config=config)
+    oracle = make_oracle(model, config, evaluator=evaluator, seed=seed)
 
     # T0: one-time preprocessing — search-space creation, interprocedural
     # flow graph, taint reduction.  Charged ~1% of the budget, matching
@@ -158,19 +326,27 @@ def run_campaign(
 
     build_graphs(model.index)
     targets = {a.qualified for a in model.atoms}
+    preprocessing_note = ""
     try:
         reduce_program(model.index, targets)
-    except Exception:
+    except ReproError as exc:
         # Reduction failures must not kill a campaign: the full program
-        # can always be transformed directly in this implementation.
-        pass
+        # can always be transformed directly in this implementation.  The
+        # failure is surfaced on the result instead of being swallowed.
+        preprocessing_note = (f"taint reduction failed "
+                              f"({type(exc).__name__}: {exc}); "
+                              f"tuning the unreduced program")
     preprocessing = 0.01 * config.wall_budget_seconds
 
-    search_result = algorithm.run(model.space, oracle)
+    try:
+        search_result = algorithm.run(model.space, oracle)
+    finally:
+        oracle.close()
     return CampaignResult(
         model_name=model.name,
         search=search_result,
         evaluator=evaluator,
         oracle=oracle,
         preprocessing_seconds=preprocessing,
+        preprocessing_note=preprocessing_note,
     )

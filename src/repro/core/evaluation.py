@@ -141,19 +141,51 @@ class Evaluator:
 
     def evaluate(self, assignment: PrecisionAssignment) -> VariantRecord:
         """Evaluate one variant (cached by assignment identity)."""
-        key = assignment.key()
-        cached = self._cache.get(key)
+        cached = self.lookup(assignment)
         if cached is not None:
             return cached
-
-        vid = self._next_id
-        self._next_id += 1
-        record = self._evaluate_uncached(assignment, vid)
-        self._cache[key] = record
+        record = self.evaluate_assigned(assignment, self.reserve_id())
+        self.admit(record)
         return record
 
-    def _evaluate_uncached(self, assignment: PrecisionAssignment,
-                           vid: int) -> VariantRecord:
+    def lookup(self, assignment: PrecisionAssignment
+               ) -> Optional[VariantRecord]:
+        """The in-memory cache entry for *assignment*, if any."""
+        return self._cache.get(assignment.key())
+
+    def reserve_id(self) -> int:
+        """Claim the next variant id.  Ids are assigned in first-miss
+        order, which keys the Eq.-1 noise sampling — oracles that obtain
+        records out-of-band (worker pools, the persistent result cache)
+        must reserve ids in the same order a serial evaluation would."""
+        vid = self._next_id
+        self._next_id += 1
+        return vid
+
+    def admit(self, record: VariantRecord) -> None:
+        """Install an externally produced record (worker pool result or
+        persistent-cache hit) under its assignment key."""
+        self._cache[record.kinds] = record
+
+    def failure_record(self, assignment: PrecisionAssignment, vid: int,
+                       outcome: Outcome, note: str = "") -> VariantRecord:
+        """A record for a variant whose evaluation infrastructure failed
+        (worker crash or hang) rather than the variant itself."""
+        relative = (self.timeout_factor if outcome is Outcome.TIMEOUT
+                    else 1.0)
+        return VariantRecord(
+            variant_id=vid, kinds=assignment.key(),
+            fraction_lowered=assignment.fraction_lowered,
+            outcome=outcome,
+            eval_wall_seconds=self._eval_wall_seconds(relative),
+            note=note,
+        )
+
+    def evaluate_assigned(self, assignment: PrecisionAssignment,
+                          vid: int) -> VariantRecord:
+        """Evaluate under a pre-reserved variant id, bypassing caches.
+        Deterministic given (assignment, vid) and the construction
+        parameters (model spec, machine, noise, timeout factor)."""
         frac = assignment.fraction_lowered
         try:
             run = self.model.run(assignment, max_ops=self.op_cap)
@@ -177,10 +209,13 @@ class Evaluator:
         total = cost.total_seconds
         relative = total / self.baseline_total
 
+        # Sorted: hotspot_procedures is a set, and set iteration order is
+        # hash-randomized per process — worker and parent must serialize
+        # the record identically.
         proc_perf = {
             proc: ProcPerf(calls=cost.proc_calls.get(proc, 0),
                            seconds=cost.proc_seconds.get(proc, 0.0))
-            for proc in self.model.hotspot_procedures
+            for proc in sorted(self.model.hotspot_procedures)
         }
         wrapped = sum(v[1] for v in run.ledger.calls.values())
 

@@ -1,0 +1,328 @@
+"""Process-parallel variant evaluation (the paper's 20-node pool, real).
+
+The paper's T1→T4 cycle hands each batch of variants to a pool of
+dedicated Derecho nodes; this module maps that pool onto real worker
+processes via :class:`concurrent.futures.ProcessPoolExecutor`.  Each
+worker rebuilds the model case from the registry by name
+(:class:`WorkerSpec` carries the model spec, machine model, noise model
+and timeout factor), so only the assignment key and the resulting
+:class:`~repro.core.evaluation.VariantRecord` ever cross the pipe.
+
+Determinism contract (enforced by ``tests/test_parallel.py``): parallel,
+cached, and serial execution are bit-identical.  The parent process
+reserves variant ids in batch order *before* dispatch and workers
+evaluate ``(kinds, vid)`` pairs; a worker's evaluator is rebuilt from
+the same spec, so ``evaluate_assigned`` is a pure function of the pair.
+Neither worker count, completion order, nor cache state can change
+variant ids, Eq.-1 noise draws, speedups, or the search trajectory.
+
+Fault tolerance: a hard per-variant wall timeout (hung workers are
+killed, not waited on), crash detection (a worker dying takes the pool
+down; the pool is rebuilt), and bounded retries.  A variant whose
+evaluation infrastructure fails irrecoverably is downgraded to
+``Outcome.RUNTIME_ERROR`` (crash) or ``Outcome.TIMEOUT`` (hang) instead
+of killing the campaign — the same classification an on-node failure
+would have received on Derecho.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..perf.machine import MachineModel
+from ..perf.noise import NoiseModel
+from .assignment import PrecisionAssignment
+from .campaign import BudgetedOracle, CampaignConfig, _BatchStats
+from .cache import ResultCache
+from .classification import Outcome
+from .evaluation import Evaluator, VariantRecord
+
+__all__ = ["WorkerSpec", "ParallelOracle"]
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker process needs to rebuild the evaluator.
+
+    ``fault`` is a test-only hook for the fault-tolerance suite: workers
+    cannot be monkeypatched across the process boundary, so fault
+    injection travels with the spec.  Production callers leave it None.
+    """
+
+    model_name: str
+    model_kwargs: tuple[tuple[str, object], ...]
+    machine: MachineModel
+    timeout_factor: float
+    noise: NoiseModel
+    fault: Optional[tuple[str, str]] = None   # (mode, argument)
+
+
+# Worker-process state, populated once per worker by _worker_init.
+_WORKER: dict = {}
+
+
+def _worker_init(spec: WorkerSpec) -> None:
+    # Imported here: repro.models imports repro.core, so a module-level
+    # import would be circular during package initialization.
+    from ..models.registry import build_model
+
+    case = build_model(spec.model_name, **dict(spec.model_kwargs))
+    _WORKER["evaluator"] = Evaluator(
+        case, machine=spec.machine, timeout_factor=spec.timeout_factor,
+        noise=spec.noise)
+    _WORKER["atoms"] = case.space.atoms
+    _WORKER["fault"] = spec.fault
+
+
+def _maybe_fault() -> None:
+    fault = _WORKER.get("fault")
+    if fault is None:
+        return
+    mode, arg = fault
+    if mode.endswith("_once"):
+        # One-shot faults arm through a marker file so the retry (in a
+        # fresh worker) proceeds normally.
+        try:
+            fd = os.open(arg, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return                  # already fired once — behave normally
+        mode = mode[:-len("_once")]
+    if mode == "crash":
+        os._exit(13)
+    if mode == "hang":
+        time.sleep(3600)
+    if mode == "raise":
+        raise RuntimeError(arg or "injected worker fault")
+
+
+def _worker_evaluate(kinds: tuple[int, ...], vid: int) -> VariantRecord:
+    _maybe_fault()
+    evaluator: Evaluator = _WORKER["evaluator"]
+    assignment = PrecisionAssignment(atoms=_WORKER["atoms"], kinds=kinds)
+    return evaluator.evaluate_assigned(assignment, vid)
+
+
+def _mp_context():
+    # fork (where available) spares each worker the cost of re-importing
+    # the package; workers rebuild their evaluator from the spec either
+    # way, so start method cannot affect results.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:              # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+@dataclass
+class ParallelOracle(BudgetedOracle):
+    """Budgeted oracle that fans cache misses out to worker processes."""
+
+    workers: int = 2
+    spec: Optional[WorkerSpec] = None
+    _pool: Optional[ProcessPoolExecutor] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @classmethod
+    def for_model(
+        cls,
+        model,                              # repro.models.base.ModelCase
+        config: CampaignConfig,
+        evaluator: Optional[Evaluator] = None,
+        cache: Optional[ResultCache] = None,
+        seed: int = 2024,
+        fault: Optional[tuple[str, str]] = None,
+    ) -> "ParallelOracle":
+        if evaluator is None:
+            evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
+                                  seed=seed)
+        name, kwargs = model.model_spec()
+        spec = WorkerSpec(
+            model_name=name,
+            model_kwargs=tuple(sorted(kwargs.items())),
+            machine=evaluator.machine,
+            timeout_factor=evaluator.timeout_factor,
+            noise=evaluator.noise,
+            fault=fault,
+        )
+        return cls(evaluator=evaluator, config=config, cache=cache,
+                   workers=config.workers, spec=spec)
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_mp_context(),
+                initializer=_worker_init, initargs=(self.spec,))
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down without waiting on hung workers.
+
+        The process list must be captured before ``shutdown`` (which
+        drops it), and the workers terminated before it too — the
+        executor's manager thread only exits once every worker sentinel
+        fires, and a hung worker never returns on its own.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:       # pragma: no cover - best-effort kill
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.join(1.0)
+            except Exception:       # pragma: no cover - best-effort reap
+                pass
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- batch evaluation -----------------------------------------------
+
+    def _evaluate(self, assignments):
+        stats = _BatchStats()
+        # Plan the batch in order: resolve cache hits and reserve variant
+        # ids for misses *before* dispatch, so ids (and therefore noise
+        # draws) are independent of completion order and worker count.
+        plan: list[tuple[str, object]] = []   # ("rec", record) | ("task", i)
+        tasks: list[tuple[PrecisionAssignment, int]] = []
+        task_by_key: dict[tuple[int, ...], int] = {}
+        for assignment in assignments:
+            record = self.evaluator.lookup(assignment)
+            if record is not None:
+                stats.cache_hits += 1
+                plan.append(("rec", record))
+                continue
+            key = assignment.key()
+            if key in task_by_key:
+                # Duplicate within the batch: one evaluation, both rows.
+                # Serial execution would serve the repeat from cache.
+                stats.cache_hits += 1
+                plan.append(("task", task_by_key[key]))
+                continue
+            vid = self.evaluator.reserve_id()
+            if self.cache is not None:
+                record = self.cache.get(key, vid)
+                if record is not None:
+                    stats.cache_hits += 1
+                    stats.disk_hits += 1
+                    self.evaluator.admit(record)
+                    plan.append(("rec", record))
+                    continue
+            task_by_key[key] = len(tasks)
+            tasks.append((assignment, vid))
+            plan.append(("task", len(tasks) - 1))
+        stats.dispatched = len(tasks)
+
+        results, synthesized = self._run_tasks(tasks, stats)
+        for (assignment, vid) in tasks:
+            record = results[vid]
+            self.evaluator.admit(record)
+            # Synthesized failure records describe transient worker
+            # infrastructure, not the variant — never persist them.
+            if self.cache is not None and vid not in synthesized:
+                self.cache.put(record)
+
+        records, hit_flags = [], []
+        emitted: set[int] = set()
+        for kind, payload in plan:
+            if kind == "rec":
+                records.append(payload)
+                hit_flags.append(True)
+            else:
+                _, vid = tasks[payload]
+                records.append(results[vid])
+                # The first occurrence of a task is the miss that paid
+                # for the evaluation; repeats within the batch are hits.
+                hit_flags.append(payload in emitted)
+                emitted.add(payload)
+        return records, hit_flags, stats
+
+    def _run_tasks(self, tasks, stats: _BatchStats
+                   ) -> tuple[dict[int, VariantRecord], set[int]]:
+        """Evaluate (assignment, vid) pairs with retry and downgrade.
+
+        Returns vid → record plus the set of vids whose record was
+        synthesized from an irrecoverable worker failure.
+        """
+        results: dict[int, VariantRecord] = {}
+        synthesized: set[int] = set()
+        max_attempts = 1 + max(0, self.config.worker_retries)
+        pending = [(a, vid, 0) for a, vid in tasks]
+
+        while pending:
+            pool = self._ensure_pool()
+            futures = [(a, vid, attempts,
+                        pool.submit(_worker_evaluate, a.key(), vid))
+                       for a, vid, attempts in pending]
+            pending = []
+            pool_down = False
+            for a, vid, attempts, fut in futures:
+                if pool_down:
+                    # The pool died earlier in this round.  Harvest
+                    # results that completed before the failure; requeue
+                    # the rest without penalty (not their fault).
+                    if fut.done():
+                        try:
+                            results[vid] = fut.result(timeout=0)
+                            stats.completed += 1
+                            continue
+                        except Exception:
+                            pass
+                    pending.append((a, vid, attempts))
+                    continue
+                try:
+                    results[vid] = fut.result(
+                        timeout=self.config.worker_timeout_seconds)
+                    stats.completed += 1
+                except FutureTimeoutError:
+                    self._kill_pool()
+                    pool_down = True
+                    self._record_failure(
+                        a, vid, attempts, Outcome.TIMEOUT,
+                        "worker exceeded the hard per-variant timeout",
+                        pending, results, synthesized, stats, max_attempts)
+                except BrokenExecutor:
+                    self._kill_pool()
+                    pool_down = True
+                    self._record_failure(
+                        a, vid, attempts, Outcome.RUNTIME_ERROR,
+                        "worker process crashed",
+                        pending, results, synthesized, stats, max_attempts)
+                except Exception as exc:
+                    # The worker function raised (pool still healthy):
+                    # an error the worker-side evaluator could not
+                    # classify.  Retry, then downgrade.
+                    self._record_failure(
+                        a, vid, attempts, Outcome.RUNTIME_ERROR,
+                        f"worker raised {type(exc).__name__}: {exc}",
+                        pending, results, synthesized, stats, max_attempts)
+        return results, synthesized
+
+    def _record_failure(self, assignment, vid, attempts, outcome, reason,
+                        pending, results, synthesized, stats,
+                        max_attempts) -> None:
+        attempts += 1
+        if attempts < max_attempts:
+            stats.retries += 1
+            pending.append((assignment, vid, attempts))
+            return
+        stats.failures += 1
+        synthesized.add(vid)
+        results[vid] = self.evaluator.failure_record(
+            assignment, vid, outcome,
+            note=f"{reason} ({attempts} attempts)")

@@ -10,9 +10,11 @@ from .base import ModelCase, RunArtifacts
 from .funarc import FunarcCase
 from .mom6 import Mom6Case
 from .mpas import MpasCase
-from .registry import MODEL_FACTORIES, get_model, paper_table1_rows
+from .registry import (MODEL_CLASSES, MODEL_FACTORIES, build_model,
+                       get_model, paper_table1_rows)
 
 __all__ = [
     "AdcircCase", "ModelCase", "RunArtifacts", "FunarcCase", "Mom6Case",
-    "MpasCase", "MODEL_FACTORIES", "get_model", "paper_table1_rows",
+    "MpasCase", "MODEL_CLASSES", "MODEL_FACTORIES", "build_model",
+    "get_model", "paper_table1_rows",
 ]

@@ -275,6 +275,11 @@ class AdcircCase(ModelCase):
     def small(cls) -> "AdcircCase":
         return cls(n=24, nsteps=3, nwork=30, itmax=110)
 
+    def spec_kwargs(self) -> dict:
+        return {"n": self.n, "nsteps": self.nsteps, "nwork": self.nwork,
+                "itmax": self.itmax,
+                "error_threshold": self.error_threshold}
+
     def _drive(self, interp: Interpreter) -> np.ndarray:
         maxeta = make_array(self.n, kind=8)
         interp.call("run_adcirc",

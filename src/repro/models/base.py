@@ -152,6 +152,22 @@ class ModelCase:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Worker reconstruction (parallel evaluation / result cache)
+    # ------------------------------------------------------------------
+
+    def spec_kwargs(self) -> dict:
+        """Constructor kwargs that reproduce this exact case.  Subclasses
+        with workload parameters must override; the values also key the
+        persistent result cache, so anything that changes evaluation
+        results (workload size, threshold) must appear here."""
+        return {"error_threshold": self.error_threshold}
+
+    def model_spec(self) -> tuple[str, dict]:
+        """(registry name, constructor kwargs) — enough for a worker
+        process to rebuild the case via ``registry.build_model``."""
+        return self.name, self.spec_kwargs()
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
 

@@ -99,6 +99,9 @@ class FunarcCase(ModelCase):
             error_threshold = 4.0e-4 * n / self.PAPER_N
         self.error_threshold = error_threshold
 
+    def spec_kwargs(self) -> dict:
+        return {"n": self.n, "error_threshold": self.error_threshold}
+
     def _drive(self, interp: Interpreter) -> np.ndarray:
         box = OutBox(None)
         interp.call("funarc", [self.n, box])

@@ -359,6 +359,11 @@ class Mom6Case(ModelCase):
     def small(cls) -> "Mom6Case":
         return cls(ni=10, nk=3, nsteps=4, nwork=16)
 
+    def spec_kwargs(self) -> dict:
+        return {"ni": self.ni, "nk": self.nk, "nsteps": self.nsteps,
+                "nwork": self.nwork,
+                "error_threshold": self.error_threshold}
+
     def _drive(self, interp: Interpreter) -> np.ndarray:
         cfl = make_array(self.nsteps, kind=8)
         interp.call("run_mom6",

@@ -343,6 +343,12 @@ class MpasCase(ModelCase):
         model (Figure 7)."""
         return cls(perf_scope="model", **kwargs)
 
+    def spec_kwargs(self) -> dict:
+        return {"ncells": self.ncells, "nlev": self.nlev,
+                "nsteps": self.nsteps, "nwork": self.nwork,
+                "error_threshold": self.error_threshold,
+                "perf_scope": self.perf_scope}
+
     def _drive(self, interp: Interpreter) -> np.ndarray:
         ke = make_array((self.nsteps, self.ncells), kind=8)
         interp.call("run_mpas",

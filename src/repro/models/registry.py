@@ -14,7 +14,8 @@ from .funarc import FunarcCase
 from .mom6 import Mom6Case
 from .mpas import MpasCase
 
-__all__ = ["MODEL_FACTORIES", "get_model", "paper_table1_rows"]
+__all__ = ["MODEL_FACTORIES", "MODEL_CLASSES", "get_model", "build_model",
+           "paper_table1_rows"]
 
 MODEL_FACTORIES: dict[str, Callable[[], ModelCase]] = {
     "funarc": FunarcCase,
@@ -22,6 +23,17 @@ MODEL_FACTORIES: dict[str, Callable[[], ModelCase]] = {
     "adcirc": AdcircCase,
     "mom6": Mom6Case,
     "mpas-a-whole-model": MpasCase.whole_model,
+}
+
+#: Constructors accepting the kwargs of :meth:`ModelCase.model_spec` —
+#: how evaluation workers rebuild a case from its spec.  Keys match
+#: ``ModelCase.name`` (the whole-model MPAS variant reports "mpas-a"
+#: with ``perf_scope="model"`` in its kwargs).
+MODEL_CLASSES: dict[str, type[ModelCase]] = {
+    "funarc": FunarcCase,
+    "mpas-a": MpasCase,
+    "adcirc": AdcircCase,
+    "mom6": Mom6Case,
 }
 
 #: Table I as printed in the paper, for side-by-side reporting.
@@ -39,6 +51,17 @@ def get_model(name: str) -> ModelCase:
         raise KeyError(
             f"unknown model {name!r}; available: {sorted(MODEL_FACTORIES)}"
         ) from None
+
+
+def build_model(name: str, **kwargs) -> ModelCase:
+    """Rebuild a case from a :meth:`ModelCase.model_spec` pair."""
+    try:
+        cls = MODEL_CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model class {name!r}; available: {sorted(MODEL_CLASSES)}"
+        ) from None
+    return cls(**kwargs)
 
 
 def paper_table1_rows() -> dict[str, tuple[str, float, int]]:

@@ -1,0 +1,134 @@
+"""Worker fault tolerance: crashes, hangs, retries, and downgrades.
+
+Faults are injected via ``WorkerSpec.fault`` (monkeypatching cannot
+cross the process boundary).  An irrecoverable infrastructure failure
+must downgrade the variant — ``RUNTIME_ERROR`` for a crash,
+``TIMEOUT`` for a hang — never kill the campaign, and never pollute
+the persistent cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (CampaignConfig, Evaluator, Outcome, ParallelOracle,
+                        ResultCache)
+from repro.core.results import record_to_dict
+from repro.models import FunarcCase
+
+
+def _make_oracle(fault, cache=None, retries=1, timeout_seconds=15.0):
+    case = FunarcCase(n=150)
+    config = CampaignConfig(nodes=20, wall_budget_seconds=12 * 3600,
+                            workers=2,
+                            worker_timeout_seconds=timeout_seconds,
+                            worker_retries=retries)
+    oracle = ParallelOracle.for_model(case, config=config, cache=cache,
+                                      fault=fault)
+    return case, oracle
+
+
+def test_worker_crash_downgrades_batch(tmp_path):
+    cache = ResultCache(tmp_path, "fault-test-context")
+    case, oracle = _make_oracle(("crash", ""), cache=cache, retries=1)
+    try:
+        records = oracle.evaluate_batch([case.space.baseline(),
+                                         case.space.all_single()])
+    finally:
+        oracle.close()
+
+    assert len(records) == 2
+    assert all(r.outcome is Outcome.RUNTIME_ERROR for r in records)
+    assert all("worker process crashed (2 attempts)" in r.note
+               for r in records)
+
+    batch = oracle.telemetry[0]
+    assert batch.dispatched == 2
+    assert batch.completed == 0
+    assert batch.failures == 2
+    # Bounded retries: each variant re-attempted exactly once.
+    assert batch.retries == 2
+    # Synthesized failure records never reach the persistent cache.
+    assert len(cache) == 0
+    assert len(ResultCache(tmp_path, "fault-test-context")) == 0
+
+
+def test_worker_hang_times_out(tmp_path):
+    case, oracle = _make_oracle(("hang", ""), retries=0,
+                                timeout_seconds=1.5)
+    try:
+        records = oracle.evaluate_batch([case.space.all_single()])
+    finally:
+        oracle.close()
+
+    (record,) = records
+    assert record.outcome is Outcome.TIMEOUT
+    assert "hard per-variant timeout" in record.note
+    batch = oracle.telemetry[0]
+    assert batch.retries == 0 and batch.failures == 1
+
+
+def test_worker_exception_downgrades(tmp_path):
+    case, oracle = _make_oracle(("raise", "boom"), retries=1)
+    try:
+        records = oracle.evaluate_batch([case.space.all_single()])
+    finally:
+        oracle.close()
+
+    (record,) = records
+    assert record.outcome is Outcome.RUNTIME_ERROR
+    assert "RuntimeError: boom" in record.note
+    batch = oracle.telemetry[0]
+    assert batch.retries == 1 and batch.failures == 1
+
+
+def test_transient_crash_recovers_bit_identically(tmp_path):
+    marker = tmp_path / "crash-once.marker"
+    case, oracle = _make_oracle(("crash_once", str(marker)), retries=1)
+    assignment = case.space.all_single()
+    try:
+        records = oracle.evaluate_batch([assignment])
+    finally:
+        oracle.close()
+
+    (record,) = records
+    batch = oracle.telemetry[0]
+    assert batch.retries == 1
+    assert batch.failures == 0
+    assert batch.completed == 1
+
+    # The retried evaluation is indistinguishable from a serial one:
+    # same variant id, same noise draws, same record bytes.
+    serial = Evaluator(FunarcCase(n=150),
+                       timeout_factor=oracle.config.timeout_factor)
+    expected = serial.evaluate_assigned(assignment, 0)
+    assert record_to_dict(record) == record_to_dict(expected)
+
+
+def test_campaign_survives_transient_crash(tmp_path):
+    # End to end: a one-shot crash mid-search must not change the
+    # trajectory (the retry recomputes the identical record).
+    from repro.core import DeltaDebugSearch, run_campaign
+
+    def _case():
+        return FunarcCase(n=150, error_threshold=4.5e-8)
+
+    serial = run_campaign(
+        _case(), CampaignConfig(nodes=20, wall_budget_seconds=12 * 3600))
+
+    config = CampaignConfig(nodes=20, wall_budget_seconds=12 * 3600,
+                            workers=2, worker_retries=1)
+    marker = tmp_path / "campaign-crash.marker"
+    faulty = ParallelOracle.for_model(
+        _case(), config=config, fault=("crash_once", str(marker)))
+    try:
+        search = DeltaDebugSearch(min_speedup=config.min_speedup).run(
+            faulty.evaluator.model.space, faulty)
+    finally:
+        faulty.close()
+
+    serial_records = [record_to_dict(r) for r in serial.records]
+    faulty_records = [record_to_dict(r) for r in search.records]
+    assert faulty_records == serial_records
+    assert sum(b.retries for b in faulty.telemetry) == 1
+    assert sum(b.failures for b in faulty.telemetry) == 0

@@ -1,0 +1,178 @@
+"""Determinism suite: parallel, cached, and serial execution bit-identical.
+
+The engine's crux (see ``repro.core.parallel``): variant ids, noise
+sampling, Eq.-1 speedups, and the delta-debugging trajectory must not
+depend on worker count, completion order, or cache state.  These tests
+pin the contract by byte-comparing full campaign payloads across
+execution backends, for the funarc miniature and one real model (MPAS).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CampaignConfig, Evaluator, ResultCache, run_campaign
+from repro.core.results import record_to_dict
+from repro.models import FunarcCase, MpasCase
+
+
+def _funarc():
+    # Threshold probed so the DD search runs a multi-batch trajectory
+    # (27 evaluations over 6 batches) rather than accepting all-single.
+    return FunarcCase(n=150, error_threshold=4.5e-8)
+
+
+def _mpas():
+    return MpasCase(ncells=12, nlev=4, nsteps=5, nwork=3,
+                    error_threshold=1e-7)
+
+
+def _config(**kw) -> CampaignConfig:
+    kw.setdefault("nodes", 20)
+    kw.setdefault("wall_budget_seconds", 12 * 3600)
+    return CampaignConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def funarc_serial():
+    return run_campaign(_funarc(), _config())
+
+
+@pytest.fixture(scope="module")
+def mpas_serial():
+    return run_campaign(_mpas(), _config(max_evaluations=30))
+
+
+class TestFunarcDeterminism:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_bit_identical(self, funarc_serial, workers):
+        result = run_campaign(_funarc(), _config(workers=workers))
+        assert result.to_json() == funarc_serial.to_json()
+
+    def test_parallel_record_sequence(self, funarc_serial):
+        result = run_campaign(_funarc(), _config(workers=2))
+        serial = [record_to_dict(r) for r in funarc_serial.records]
+        parallel = [record_to_dict(r) for r in result.records]
+        assert parallel == serial
+
+    def test_cache_warm_rerun_bit_identical(self, funarc_serial, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_campaign(_funarc(), _config(cache_dir=cache_dir))
+        warm = run_campaign(_funarc(), _config(cache_dir=cache_dir))
+        assert cold.to_json() == funarc_serial.to_json()
+        assert warm.to_json() == funarc_serial.to_json()
+        # The warm rerun dispatched nothing and charged ~0 node-seconds.
+        telemetry = warm.oracle.telemetry
+        assert sum(b.dispatched for b in telemetry) == 0
+        assert sum(b.disk_hits for b in telemetry) > 0
+        assert warm.oracle.wall_seconds_used == 0.0
+
+    def test_parallel_with_warm_cache_bit_identical(self, funarc_serial,
+                                                    tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(_funarc(), _config(workers=2, cache_dir=cache_dir))
+        warm = run_campaign(_funarc(), _config(workers=2,
+                                               cache_dir=cache_dir))
+        assert warm.to_json() == funarc_serial.to_json()
+        assert sum(b.dispatched for b in warm.oracle.telemetry) == 0
+
+    def test_telemetry_accounts_for_every_variant(self, funarc_serial):
+        telemetry = funarc_serial.oracle.telemetry
+        assert telemetry
+        assert sum(b.size for b in telemetry) == len(funarc_serial.records)
+        for batch in telemetry:
+            assert batch.dispatched == batch.completed + batch.failures
+            assert batch.size == batch.dispatched + batch.cache_hits
+            assert batch.wall_seconds >= 0.0
+
+
+class TestMpasDeterminism:
+    def test_workers_bit_identical(self, mpas_serial):
+        result = run_campaign(_mpas(),
+                              _config(max_evaluations=30, workers=2))
+        assert result.to_json() == mpas_serial.to_json()
+
+    def test_cache_warm_rerun_bit_identical(self, mpas_serial, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(_mpas(), _config(max_evaluations=30,
+                                      cache_dir=cache_dir))
+        warm = run_campaign(_mpas(), _config(max_evaluations=30,
+                                             cache_dir=cache_dir))
+        assert warm.to_json() == mpas_serial.to_json()
+        assert sum(b.dispatched for b in warm.oracle.telemetry) == 0
+
+
+class TestCacheRoundTrip:
+    """Property-style: assignment.key() round-trips the file format."""
+
+    def test_random_assignments_round_trip(self, tmp_path):
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        rng = random.Random(1234)
+        atoms = case.space.atoms
+        stored = []
+        for vid in range(12):
+            kinds = tuple(rng.choice((4, 8)) for _ in atoms)
+            assignment = case.space.baseline().with_kinds(
+                {a.qualified: k for a, k in zip(atoms, kinds) if k != 8})
+            record = evaluator.evaluate_assigned(assignment, vid)
+            cache.put(record)
+            stored.append((assignment, vid, record))
+
+        # A fresh cache instance reloads everything from disk.
+        reloaded = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert len(reloaded) == len({a.key() for a, _, _ in stored})
+        for assignment, vid, record in stored:
+            got = reloaded.get(assignment.key(), vid)
+            if got is None:
+                # A later evaluation of the same key overwrote this one.
+                assert any(a.key() == assignment.key() and v != vid
+                           for a, v, _ in stored)
+                continue
+            assert record_to_dict(got) == record_to_dict(record)
+
+    def test_variant_id_mismatch_is_a_miss(self, tmp_path):
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        record = evaluator.evaluate_assigned(case.space.all_single(), 7)
+        cache.put(record)
+
+        reloaded = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert reloaded.get(record.kinds, 7) is not None
+        assert reloaded.get(record.kinds, 8) is None
+        assert reloaded.stale_hits == 1
+
+    def test_context_isolation(self, tmp_path):
+        # Same directory, different experiment seed: separate cache files.
+        case = _funarc()
+        a = ResultCache.for_evaluator(tmp_path, Evaluator(case))
+        b = ResultCache.for_evaluator(tmp_path, Evaluator(case, seed=999))
+        record = Evaluator(case).evaluate_assigned(case.space.all_single(), 0)
+        a.put(record)
+        assert ResultCache.for_evaluator(tmp_path, Evaluator(case)).contains(
+            record.kinds)
+        assert not ResultCache(tmp_path, b.context).contains(record.kinds)
+
+    def test_cache_path_collision_raises_repo_error(self, tmp_path):
+        from repro.errors import CampaignError
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("")
+        with pytest.raises(CampaignError, match="not a directory"):
+            ResultCache(not_a_dir, "ctx")
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        record = evaluator.evaluate_assigned(case.space.all_single(), 3)
+        cache.put(record)
+        with cache.path.open("a") as fh:
+            fh.write('{"context": "truncated by a killed wr')
+
+        reloaded = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert len(reloaded) == 1
+        assert reloaded.get(record.kinds, 3) is not None
