@@ -17,6 +17,7 @@ import sys
 from typing import Optional
 
 from .analysis import assess_hotspot, build_dataflow
+from .errors import ReproError
 from .core import (CampaignConfig, DeltaDebugSearch, Evaluator,
                    HierarchicalSearch, RandomSearch, ScreenedDeltaDebug,
                    make_oracle, run_campaign)
@@ -75,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the correctness threshold")
     p.add_argument("--out", default=None,
                    help="write raw variant records (JSON) to this path")
+    p.add_argument("--journal-dir", default=None,
+                   help="write-ahead campaign journal: a killed or "
+                        "SIGTERMed run can be continued with --resume, "
+                        "replaying completed batches at ~0 cost")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the campaign journaled in --journal-dir "
+                        "(refuses a journal from a different model/"
+                        "config/seed)")
+    p.add_argument("--batch-log", action="store_true",
+                   help="print one telemetry line per evaluated batch")
     _add_execution_args(p)
 
     p = sub.add_parser("transform",
@@ -167,9 +178,20 @@ def _print_telemetry(oracle) -> None:
           f"dispatched {sum(b.dispatched for b in t)}  "
           f"cache hits {sum(b.cache_hits for b in t)} "
           f"({sum(b.disk_hits for b in t)} from disk)  "
+          f"replayed {sum(b.replayed for b in t)}  "
           f"retries {sum(b.retries for b in t)}  "
+          f"backoff {sum(b.backoff_seconds for b in t):.2f}s  "
           f"failures {sum(b.failures for b in t)}  "
           f"real {sum(b.wall_seconds for b in t):.2f}s")
+
+
+def _batch_log_line(bt) -> None:
+    """One operator-facing line per batch (``tune --batch-log``)."""
+    print(f"  batch {bt.batch_index:3d}: size {bt.size:3d}  "
+          f"dispatched {bt.dispatched:3d}  cache {bt.cache_hits:3d}  "
+          f"replayed {bt.replayed:3d}  retries {bt.retries}  "
+          f"failures {bt.failures}  backoff {bt.backoff_seconds:.2f}s  "
+          f"sim {bt.sim_seconds:.0f}s")
 
 
 def _cmd_tune(args) -> int:
@@ -187,16 +209,33 @@ def _cmd_tune(args) -> int:
     else:
         algorithm = DeltaDebugSearch()
 
+    if args.resume and not args.journal_dir:
+        raise SystemExit("error: --resume requires --journal-dir")
     config = CampaignConfig(
         wall_budget_seconds=args.budget_hours * 3600.0,
         max_evaluations=args.max_evals,
         workers=args.workers,
         cache_dir=args.cache_dir,
     )
-    result = run_campaign(case, config, algorithm=algorithm)
-    summary = result.summary()
+    result = run_campaign(
+        case, config, algorithm=algorithm,
+        journal_dir=args.journal_dir,
+        resume_from=args.journal_dir if args.resume else None,
+        batch_callback=_batch_log_line if args.batch_log else None,
+    )
+    if result.resumed_from_batch is not None:
+        print(f"resumed from batch {result.resumed_from_batch} "
+              f"(journal: {result.journal_dir})")
     if result.preprocessing_note:
         print(f"note: {result.preprocessing_note}")
+    if not result.records:
+        print("no variants evaluated (interrupted before the first "
+              "batch completed)")
+        if result.interrupted and result.journal_dir:
+            print(f"resume with: repro tune {args.model} "
+                  f"--journal-dir {result.journal_dir} --resume")
+        return 0
+    summary = result.summary()
     print(f"\nvariants: {summary.total}  pass {summary.pass_pct:.1f}%  "
           f"fail {summary.fail_pct:.1f}%  timeout {summary.timeout_pct:.1f}%  "
           f"error {summary.error_pct:.1f}%")
@@ -204,6 +243,15 @@ def _cmd_tune(args) -> int:
           f"finished: {summary.finished}  "
           f"simulated wall: {result.wall_hours():.1f} h")
     _print_telemetry(result.oracle)
+    if result.interrupted:
+        print(f"\ninterrupted: campaign stopped gracefully "
+              f"(partial result; in-flight work journaled)")
+        if result.journal_dir:
+            print(f"resume with: repro tune {args.model} "
+                  f"--journal-dir {result.journal_dir} --resume")
+        else:
+            print("hint: pass --journal-dir to make interrupted runs "
+                  "resumable")
 
     final = result.search.final_record
     if final is not None:
@@ -265,7 +313,13 @@ _COMMANDS = {
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Library errors (e.g. a refused journal resume) are operator
+        # feedback, not stack traces.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,25 +13,28 @@ from .assignment import PrecisionAssignment
 from .atoms import SearchAtom, collect_atoms
 from .cache import ResultCache, evaluation_context
 from .campaign import (BatchTelemetry, BudgetedOracle, CampaignConfig,
-                       CampaignResult, CampaignSummary, make_oracle,
-                       run_campaign)
+                       CampaignResult, CampaignSummary, InterruptFlag,
+                       make_oracle, run_campaign)
 from .classification import Outcome
 from .evaluation import Evaluator, ProcPerf, VariantRecord
+from .journal import CampaignJournal, JournalState, journal_header
 from .parallel import ParallelOracle, WorkerSpec
 from .metrics import (choose_n_runs, l2_over_axis, median_time,
                       relative_error, speedup_eq1)
 from .searchspace import SearchSpace
-from .search import (BruteForceSearch, DeltaDebugSearch, FunctionOracle,
-                     HierarchicalSearch, RandomSearch, ScreenedDeltaDebug,
-                     SearchResult, optimal_frontier)
+from .search import (BruteForceSearch, CampaignInterrupted, DeltaDebugSearch,
+                     FunctionOracle, HierarchicalSearch, RandomSearch,
+                     ScreenedDeltaDebug, SearchResult, optimal_frontier)
 
 __all__ = [
     "PrecisionAssignment", "SearchAtom", "collect_atoms", "BatchTelemetry",
     "BudgetedOracle", "CampaignConfig", "CampaignResult", "CampaignSummary",
-    "make_oracle", "run_campaign", "Outcome", "Evaluator", "ProcPerf",
-    "VariantRecord", "ParallelOracle", "WorkerSpec", "ResultCache",
+    "InterruptFlag", "make_oracle", "run_campaign", "Outcome", "Evaluator",
+    "ProcPerf", "VariantRecord", "CampaignJournal", "JournalState",
+    "journal_header", "ParallelOracle", "WorkerSpec", "ResultCache",
     "evaluation_context", "choose_n_runs", "l2_over_axis", "median_time",
     "relative_error", "speedup_eq1", "SearchSpace", "BruteForceSearch",
-    "DeltaDebugSearch", "FunctionOracle", "HierarchicalSearch",
-    "RandomSearch", "ScreenedDeltaDebug", "SearchResult", "optimal_frontier",
+    "CampaignInterrupted", "DeltaDebugSearch", "FunctionOracle",
+    "HierarchicalSearch", "RandomSearch", "ScreenedDeltaDebug",
+    "SearchResult", "optimal_frontier",
 ]

@@ -27,8 +27,10 @@ bit-identical to the cold run (covered by ``tests/test_parallel.py``).
 
 The file format is append-only: one self-describing JSON object per
 line.  Concurrent appends from multiple campaigns are safe on POSIX
-(single ``write`` of a line < PIPE_BUF); a torn trailing line is
-tolerated and dropped at load time.
+(single ``write`` of a line < PIPE_BUF); a torn or otherwise corrupt
+trailing line — the expected artifact of a writer killed mid-append —
+is dropped at load time and surfaced in :attr:`ResultCache
+.load_warnings` rather than raised.
 """
 
 from __future__ import annotations
@@ -39,27 +41,10 @@ from pathlib import Path
 from typing import Optional
 
 from ..errors import CampaignError
-from .evaluation import VariantRecord
-from .results import record_from_dict, record_to_dict
+from .evaluation import VariantRecord, evaluation_context
+from .results import record_from_dict, record_to_dict, validate_record_dict
 
 __all__ = ["ResultCache", "evaluation_context"]
-
-_FORMAT = 1
-
-
-def evaluation_context(model, machine, noise, timeout_factor: float) -> str:
-    """Canonical context string identifying one evaluation setup."""
-    name, kwargs = model.model_spec()
-    return json.dumps({
-        "format": _FORMAT,
-        "model": name,
-        "model_kwargs": kwargs,
-        "machine": machine.name,
-        "timeout_factor": timeout_factor,
-        "noise_rsd": noise.rsd,
-        "seed": noise.base_seed,
-        "n_runs": model.n_runs,
-    }, sort_keys=True)
 
 
 class ResultCache:
@@ -78,6 +63,11 @@ class ResultCache:
         self.path = self.directory / f"variants-{digest}.jsonl"
         self._records: dict[tuple[int, ...], dict] = {}
         self.stale_hits = 0       # key present but variant id mismatched
+        #: Human-readable notes about entries that could not be loaded
+        #: (torn tail from a killed writer, malformed record bodies).
+        #: Corruption never raises — a crashed campaign must always be
+        #: able to warm-start from whatever survived.
+        self.load_warnings: list[str] = []
         self._load()
 
     @classmethod
@@ -91,16 +81,34 @@ class ResultCache:
     def _load(self) -> None:
         if not self.path.exists():
             return
-        for line in self.path.read_text().splitlines():
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
             if not line.strip():
                 continue
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                continue            # torn tail from an interrupted writer
+                # Torn line from a writer killed mid-append.  Anything
+                # after it on disk is still parsed: a concurrent writer
+                # may have appended complete records past the tear.
+                self.load_warnings.append(
+                    f"{self.path.name}:{lineno}: unparseable JSON "
+                    f"(interrupted write?); entry skipped")
+                continue
+            if not isinstance(entry, dict):
+                self.load_warnings.append(
+                    f"{self.path.name}:{lineno}: not a cache entry; skipped")
+                continue
             if entry.get("context") != self.context:
                 continue
-            self._records[tuple(entry["key"])] = entry["record"]
+            key = entry.get("key")
+            record = entry.get("record")
+            if (not isinstance(key, list)
+                    or not validate_record_dict(record)):
+                self.load_warnings.append(
+                    f"{self.path.name}:{lineno}: malformed cache record; "
+                    f"entry skipped")
+                continue
+            self._records[tuple(key)] = record
 
     # ------------------------------------------------------------------
 
@@ -114,7 +122,17 @@ class ResultCache:
         if data["variant_id"] != variant_id:
             self.stale_hits += 1
             return None
-        return record_from_dict(data)
+        try:
+            return record_from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            # Structurally valid at load time but still undeserializable
+            # (e.g. mangled proc_perf payload): treat as a miss — the
+            # variant is simply re-evaluated.
+            self.load_warnings.append(
+                f"{self.path.name}: record for key {list(key)} "
+                f"undeserializable ({type(exc).__name__}); re-evaluating")
+            del self._records[tuple(key)]
+            return None
 
     def contains(self, key: tuple[int, ...]) -> bool:
         return tuple(key) in self._records

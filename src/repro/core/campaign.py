@@ -24,24 +24,29 @@ in-process evaluation; the determinism suite in
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
+import signal as _signal
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import CampaignError, ReproError
 from .assignment import PrecisionAssignment
 from .cache import ResultCache
 from .classification import Outcome
 from .evaluation import Evaluator, VariantRecord
+from .journal import CampaignJournal, JournalState, journal_header
 from .results import search_result_to_dict
-from .search.base import BatchOracle, BudgetExhausted, SearchResult
+from .search.base import (BatchOracle, BudgetExhausted, CampaignInterrupted,
+                          SearchResult)
 from .search.deltadebug import DeltaDebugSearch
 
 __all__ = ["CampaignConfig", "CampaignSummary", "CampaignResult",
-           "BatchTelemetry", "BudgetedOracle", "make_oracle",
-           "run_campaign"]
+           "BatchTelemetry", "BudgetedOracle", "InterruptFlag",
+           "make_oracle", "run_campaign"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,19 @@ class CampaignConfig:
     worker_timeout_seconds: float = 120.0   # hard per-variant wall timeout
     worker_retries: int = 2                 # attempts beyond the first
 
+    # -- crash safety (repro.core.journal) --------------------------------
+    journal_dir: Optional[str] = None       # write-ahead campaign journal
+    resume: bool = False                    # replay journal_dir's journal
+    snapshot_every: int = 1                 # batches between state snapshots
+    handle_signals: bool = True             # SIGINT/SIGTERM end the campaign
+                                            # gracefully at the next variant
+    #: Base of the deterministic (jitterless — replays must reproduce)
+    #: exponential backoff between retries of *transient* worker
+    #: failures.  Deterministic TIMEOUT/RUNTIME_ERROR outcomes are
+    #: classified results, never retried, and never backed off.
+    retry_backoff_seconds: float = 0.5
+    retry_backoff_max_seconds: float = 8.0
+
 
 @dataclass
 class BatchTelemetry:
@@ -75,6 +93,8 @@ class BatchTelemetry:
     failures: int             # variants downgraded to an error outcome
     wall_seconds: float       # real elapsed time for the batch
     sim_seconds: float        # simulated node-pool charge
+    replayed: int = 0         # subset of cache_hits served from the journal
+    backoff_seconds: float = 0.0   # real seconds slept between worker retries
 
     def as_dict(self) -> dict:
         return {
@@ -84,6 +104,8 @@ class BatchTelemetry:
             "retries": self.retries, "failures": self.failures,
             "wall_seconds": self.wall_seconds,
             "sim_seconds": self.sim_seconds,
+            "replayed": self.replayed,
+            "backoff_seconds": self.backoff_seconds,
         }
 
 
@@ -97,6 +119,55 @@ class _BatchStats:
     disk_hits: int = 0
     retries: int = 0
     failures: int = 0
+    replayed: int = 0
+    backoff_seconds: float = 0.0
+
+
+@dataclass
+class InterruptFlag:
+    """Cooperative shutdown request shared by the signal handler and the
+    oracle.  The oracle polls it between batches and between variants
+    (serial) / retry rounds (parallel) and raises
+    :class:`CampaignInterrupted` — the in-flight work is drained, the
+    journal is already flushed (every append is fsynced), and the
+    campaign returns a partial result instead of a stack trace."""
+
+    requested: bool = False
+    reason: str = ""
+    signals_seen: int = 0
+
+
+@contextlib.contextmanager
+def _signal_guard(flag: InterruptFlag, enabled: bool):
+    """Install SIGINT/SIGTERM handlers that set *flag* for the duration.
+
+    Only possible from the main thread (``signal.signal`` refuses
+    elsewhere); campaigns run from worker threads simply keep the
+    process's existing disposition.  A second signal restores impatient
+    semantics: it raises ``KeyboardInterrupt`` immediately.
+    """
+    if not enabled or threading.current_thread() is not threading.main_thread():
+        yield flag
+        return
+
+    def handler(signum, frame):
+        flag.signals_seen += 1
+        flag.requested = True
+        flag.reason = _signal.Signals(signum).name
+        if flag.signals_seen > 1:
+            raise KeyboardInterrupt(f"forced by repeated {flag.reason}")
+
+    previous = {}
+    try:
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            previous[sig] = _signal.signal(sig, handler)
+    except (ValueError, OSError):      # pragma: no cover - exotic platforms
+        pass
+    try:
+        yield flag
+    finally:
+        for sig, prev in previous.items():
+            _signal.signal(sig, prev)
 
 
 @dataclass
@@ -116,10 +187,22 @@ class BudgetedOracle:
     evaluations: int = 0
     batch_log: list[tuple[int, float]] = field(default_factory=list)
     telemetry: list[BatchTelemetry] = field(default_factory=list)
+    #: Crash-safety collaborators, wired up by :func:`run_campaign`.
+    journal: Optional[CampaignJournal] = None
+    replay: Optional[JournalState] = None
+    interrupt: Optional[InterruptFlag] = None
+    #: Per-batch observability callback (CLI progress lines, test
+    #: harnesses).  Called after each batch's telemetry is recorded.
+    batch_callback: Optional[Callable[[BatchTelemetry], None]] = None
 
     def evaluate_batch(
         self, assignments: list[PrecisionAssignment]
     ) -> list[VariantRecord]:
+        self._check_interrupt()
+        # Budget semantics mirror PBS: each allocation (process) gets a
+        # fresh wall budget.  Replayed batches charge ~0, so a resumed
+        # campaign spends its budget only on genuinely new work — the
+        # dead allocation's spend is reported via the journal instead.
         if self.wall_seconds_used >= self.config.wall_budget_seconds:
             raise BudgetExhausted(
                 f"wall budget {self.config.wall_budget_seconds:.0f}s spent")
@@ -128,6 +211,12 @@ class BudgetedOracle:
                 f"evaluation cap {self.config.max_evaluations} reached")
 
         started = time.perf_counter()
+        batch_index = len(self.telemetry)
+        if self.journal is not None:
+            # Write-ahead intent: if we die past this point, the journal
+            # names the batch that was in flight.
+            self.journal.batch_intent(
+                batch_index, [list(a.key()) for a in assignments])
         records, hit_flags, stats = self._evaluate(assignments)
         self.evaluations += len(assignments)
 
@@ -143,15 +232,53 @@ class BudgetedOracle:
             batch_seconds += max(wave, default=0.0)
         self.wall_seconds_used += batch_seconds
         self.batch_log.append((len(records), batch_seconds))
+        if self.journal is not None:
+            self.journal.batch_done(batch_index, batch_seconds,
+                                    self.wall_seconds_used, self.evaluations)
         self.telemetry.append(BatchTelemetry(
-            batch_index=len(self.telemetry), size=len(assignments),
+            batch_index=batch_index, size=len(assignments),
             dispatched=stats.dispatched, completed=stats.completed,
             cache_hits=stats.cache_hits, disk_hits=stats.disk_hits,
             retries=stats.retries, failures=stats.failures,
             wall_seconds=time.perf_counter() - started,
             sim_seconds=batch_seconds,
+            replayed=stats.replayed,
+            backoff_seconds=stats.backoff_seconds,
         ))
+        if self.batch_callback is not None:
+            self.batch_callback(self.telemetry[-1])
         return records
+
+    # ------------------------------------------------------------------
+
+    def _check_interrupt(self) -> None:
+        """Raise :class:`CampaignInterrupted` if shutdown was requested.
+
+        Polled between batches, between variants (serial), and between
+        retry rounds (parallel): the granularity at which in-flight work
+        can be abandoned without losing journaled progress."""
+        if self.interrupt is not None and self.interrupt.requested:
+            raise CampaignInterrupted(
+                f"campaign interrupted by {self.interrupt.reason or 'signal'}")
+
+    def _external_record(self, key: tuple[int, ...], vid: int
+                         ) -> tuple[Optional[VariantRecord], str]:
+        """Resolve a variant from the journal replay or the persistent
+        cache — ("replay"/"cache"), both under the variant-id contract.
+
+        The journal is consulted first: on resume it is authoritative
+        for the previous allocation's trajectory, and serving it keeps
+        replayed batches at ~0 cost even without a shared cache dir.
+        """
+        if self.replay is not None:
+            record = self.replay.lookup(key, vid)
+            if record is not None:
+                return record, "replay"
+        if self.cache is not None:
+            record = self.cache.get(key, vid)
+            if record is not None:
+                return record, "cache"
+        return None, ""
 
     # ------------------------------------------------------------------
 
@@ -165,24 +292,33 @@ class BudgetedOracle:
         the Eq.-1 noise sampling.
         """
         stats = _BatchStats()
+        batch_index = len(self.telemetry)
         records: list[VariantRecord] = []
         hit_flags: list[bool] = []
         for assignment in assignments:
+            # Between-variant poll: a serial batch can be hours of real
+            # work; completed variants are already journaled, so an
+            # interrupt here loses nothing.
+            self._check_interrupt()
             record = self.evaluator.lookup(assignment)
             hit = record is not None
             if record is None:
                 vid = self.evaluator.reserve_id()
-                if self.cache is not None:
-                    record = self.cache.get(assignment.key(), vid)
+                record, source = self._external_record(assignment.key(), vid)
                 if record is not None:
                     hit = True
-                    stats.disk_hits += 1
+                    if source == "replay":
+                        stats.replayed += 1
+                    else:
+                        stats.disk_hits += 1
                     self.evaluator.admit(record)
                 else:
                     record = self.evaluator.evaluate_assigned(assignment, vid)
                     self.evaluator.admit(record)
                     if self.cache is not None:
                         self.cache.put(record)
+                    if self.journal is not None:
+                        self.journal.variant(batch_index, record)
                     stats.dispatched += 1
                     stats.completed += 1
             if hit:
@@ -243,6 +379,13 @@ class CampaignResult:
     oracle: BudgetedOracle
     preprocessing_seconds: float = 0.0
     preprocessing_note: str = ""
+    #: The campaign stopped early on SIGINT/SIGTERM (graceful shutdown:
+    #: in-flight work drained, journal flushed, partial result returned).
+    interrupted: bool = False
+    #: First batch that needed fresh work after a journal resume (i.e.
+    #: batches below this index were replayed); None for fresh runs.
+    resumed_from_batch: Optional[int] = None
+    journal_dir: Optional[str] = None
 
     @property
     def records(self) -> list[VariantRecord]:
@@ -276,9 +419,10 @@ class CampaignResult:
         """Canonical serialization of everything the search decided.
 
         Deliberately excludes execution telemetry (real wall times, cache
-        and worker counters): the payload must be byte-identical across
-        worker counts and cache states — the determinism contract the
-        tests pin down.
+        and worker counters) and recovery metadata (``interrupted``,
+        ``resumed_from_batch``): the payload must be byte-identical
+        across worker counts, cache states, and kill/resume cycles —
+        the determinism contract the tests pin down.
         """
         return json.dumps({
             "model": self.model_name,
@@ -295,12 +439,21 @@ def run_campaign(
     seed: int = 2024,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    journal_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    batch_callback: Optional[Callable[[BatchTelemetry], None]] = None,
 ) -> CampaignResult:
     """Run the full tuning campaign for one model case.
 
-    *workers* / *cache_dir* override the corresponding
+    *workers* / *cache_dir* / *journal_dir* override the corresponding
     :class:`CampaignConfig` fields (convenience for callers that keep a
-    shared config).
+    shared config).  *resume_from* names a journal directory written by
+    a previous (killed, interrupted, or even finished) campaign: its
+    completed work is replayed at ~0 cost and the search continues from
+    the exact batch where the previous process died, producing a result
+    byte-identical to an uninterrupted run.  Journaling continues into
+    the same directory.  *batch_callback* receives each batch's
+    :class:`BatchTelemetry` as it completes.
     """
     config = config or CampaignConfig()
     if workers is not None or cache_dir is not None:
@@ -310,6 +463,11 @@ def run_campaign(
             workers=config.workers if workers is None else workers,
             cache_dir=config.cache_dir if cache_dir is None else cache_dir,
         )
+    journal_dir = journal_dir or resume_from or config.journal_dir
+    resume = resume_from is not None or config.resume
+    if resume and not journal_dir:
+        raise CampaignError("resume requested but no journal directory "
+                            "given (journal_dir / --journal-dir)")
     if evaluator is None:
         evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
                               seed=seed)
@@ -317,6 +475,29 @@ def run_campaign(
         algorithm = DeltaDebugSearch(min_speedup=config.min_speedup)
 
     oracle = make_oracle(model, config, evaluator=evaluator, seed=seed)
+
+    # Crash safety: open (or resume) the write-ahead journal, refusing
+    # to replay a journal written for a different campaign.
+    journal: Optional[CampaignJournal] = None
+    resumed_from_batch: Optional[int] = None
+    if journal_dir:
+        header = journal_header(evaluator, model.space, algorithm, config)
+        if resume:
+            state = JournalState.load(journal_dir)
+            state.validate(header)
+            resumed_from_batch = state.completed_batches
+            journal = CampaignJournal.resume(journal_dir, header, state)
+            oracle.replay = state
+        else:
+            journal = CampaignJournal.create(journal_dir, header)
+        oracle.journal = journal
+        if hasattr(algorithm, "snapshot_hook") and config.snapshot_every > 0:
+            algorithm.snapshot_hook = _snapshot_cadence(
+                journal, config.snapshot_every)
+    flag = InterruptFlag()
+    oracle.interrupt = flag
+    if batch_callback is not None:
+        oracle.batch_callback = batch_callback
 
     # T0: one-time preprocessing — search-space creation, interprocedural
     # flow graph, taint reduction.  Charged ~1% of the budget, matching
@@ -339,9 +520,22 @@ def run_campaign(
     preprocessing = 0.01 * config.wall_budget_seconds
 
     try:
-        search_result = algorithm.run(model.space, oracle)
+        with _signal_guard(flag, config.handle_signals):
+            try:
+                search_result = algorithm.run(model.space, oracle)
+            finally:
+                oracle.close()
+        # A signal that landed after the search's last batch did not
+        # truncate anything; only a cut-short search is "interrupted".
+        interrupted = flag.requested and not search_result.finished
+        if journal is not None:
+            if interrupted:
+                journal.mark_interrupted(flag.reason or "signal")
+            elif search_result.finished:
+                journal.mark_finished()
     finally:
-        oracle.close()
+        if journal is not None:
+            journal.close()
     return CampaignResult(
         model_name=model.name,
         search=search_result,
@@ -349,4 +543,21 @@ def run_campaign(
         oracle=oracle,
         preprocessing_seconds=preprocessing,
         preprocessing_note=preprocessing_note,
+        interrupted=interrupted,
+        resumed_from_batch=resumed_from_batch,
+        journal_dir=journal_dir,
     )
+
+
+def _snapshot_cadence(journal: CampaignJournal, every: int):
+    """Wrap the journal's atomic snapshot writer with the configured
+    cadence.  Terminal phases ("final"/"exhausted") are always written —
+    they record where the search ended up."""
+    calls = 0
+
+    def write(state: dict) -> None:
+        nonlocal calls
+        calls += 1
+        if state.get("phase") != "search" or calls % every == 0:
+            journal.snapshot(state)
+    return write

@@ -20,6 +20,7 @@ job budget that terminated the paper's MOM6 search.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Optional
@@ -33,11 +34,41 @@ from .assignment import PrecisionAssignment
 from .classification import Outcome
 from .metrics import speedup_eq1
 
-__all__ = ["ProcPerf", "VariantRecord", "Evaluator"]
+__all__ = ["ProcPerf", "VariantRecord", "Evaluator", "evaluation_context"]
 
 # Hard interpreter cap relative to baseline op count; catches divergent
 # iterative kernels that the wall-clock timeout would kill on Derecho.
 _OP_CAP_FACTOR = 14.0
+
+# Bumped whenever the serialized evaluation-context schema changes, so
+# persisted artifacts (result cache files, campaign journals) from an
+# older schema are never matched against a newer one.
+_CONTEXT_FORMAT = 1
+
+
+def evaluation_context(model, machine, noise, timeout_factor: float) -> str:
+    """Canonical context string identifying one evaluation setup.
+
+    Everything that can change a :class:`VariantRecord` for a given
+    (assignment, variant-id) pair appears here: the model spec (registry
+    name + constructor kwargs, which carry workload size and correctness
+    threshold), the machine model, the timeout factor, and the noise
+    parameters including the experiment seed.  The persistent result
+    cache and the campaign journal both key their artifacts on this
+    string, so results produced under one setup are never replayed into
+    another.
+    """
+    name, kwargs = model.model_spec()
+    return json.dumps({
+        "format": _CONTEXT_FORMAT,
+        "model": name,
+        "model_kwargs": kwargs,
+        "machine": machine.name,
+        "timeout_factor": timeout_factor,
+        "noise_rsd": noise.rsd,
+        "seed": noise.base_seed,
+        "n_runs": model.n_runs,
+    }, sort_keys=True)
 
 
 @dataclass(frozen=True)
@@ -116,6 +147,12 @@ class Evaluator:
             self._target_seconds(self.baseline_cost), "baseline", self.n_runs)
 
     # ------------------------------------------------------------------
+
+    def context(self) -> str:
+        """The canonical evaluation-context string for this evaluator
+        (see :func:`evaluation_context`)."""
+        return evaluation_context(self.model, self.machine, self.noise,
+                                  self.timeout_factor)
 
     def _price(self, ledger) -> CostBreakdown:
         return compute_cost(

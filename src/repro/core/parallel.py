@@ -18,11 +18,18 @@ variant ids, Eq.-1 noise draws, speedups, or the search trajectory.
 
 Fault tolerance: a hard per-variant wall timeout (hung workers are
 killed, not waited on), crash detection (a worker dying takes the pool
-down; the pool is rebuilt), and bounded retries.  A variant whose
-evaluation infrastructure fails irrecoverably is downgraded to
-``Outcome.RUNTIME_ERROR`` (crash) or ``Outcome.TIMEOUT`` (hang) instead
-of killing the campaign — the same classification an on-node failure
-would have received on Derecho.
+down; the pool is rebuilt), and bounded retries separated by
+deterministic, jitterless exponential backoff
+(``CampaignConfig.retry_backoff_seconds``) — only *transient*
+infrastructure failures are retried; a variant the worker's evaluator
+deterministically classified TIMEOUT or RUNTIME_ERROR is a result, not
+a failure.  A variant whose evaluation infrastructure fails
+irrecoverably is downgraded to ``Outcome.RUNTIME_ERROR`` (crash) or
+``Outcome.TIMEOUT`` (hang) instead of killing the campaign — the same
+classification an on-node failure would have received on Derecho.  The
+worker pool is torn down on *every* exception path out of a batch
+(including ``KeyboardInterrupt``), so no worker processes are ever
+leaked.
 """
 
 from __future__ import annotations
@@ -195,9 +202,11 @@ class ParallelOracle(BudgetedOracle):
 
     def _evaluate(self, assignments):
         stats = _BatchStats()
-        # Plan the batch in order: resolve cache hits and reserve variant
-        # ids for misses *before* dispatch, so ids (and therefore noise
-        # draws) are independent of completion order and worker count.
+        batch_index = len(self.telemetry)
+        # Plan the batch in order: resolve journal-replay and cache hits
+        # and reserve variant ids for misses *before* dispatch, so ids
+        # (and therefore noise draws) are independent of completion
+        # order and worker count.
         plan: list[tuple[str, object]] = []   # ("rec", record) | ("task", i)
         tasks: list[tuple[PrecisionAssignment, int]] = []
         task_by_key: dict[tuple[int, ...], int] = {}
@@ -215,27 +224,42 @@ class ParallelOracle(BudgetedOracle):
                 plan.append(("task", task_by_key[key]))
                 continue
             vid = self.evaluator.reserve_id()
-            if self.cache is not None:
-                record = self.cache.get(key, vid)
-                if record is not None:
-                    stats.cache_hits += 1
+            record, source = self._external_record(key, vid)
+            if record is not None:
+                stats.cache_hits += 1
+                if source == "replay":
+                    stats.replayed += 1
+                else:
                     stats.disk_hits += 1
-                    self.evaluator.admit(record)
-                    plan.append(("rec", record))
-                    continue
+                self.evaluator.admit(record)
+                plan.append(("rec", record))
+                continue
             task_by_key[key] = len(tasks)
             tasks.append((assignment, vid))
             plan.append(("task", len(tasks) - 1))
         stats.dispatched = len(tasks)
 
-        results, synthesized = self._run_tasks(tasks, stats)
+        # The pool must never outlive an exception here — in particular
+        # a KeyboardInterrupt mid-dispatch used to leak live worker
+        # processes (the executor's atexit hook then blocked on them).
+        try:
+            results, synthesized = self._run_tasks(tasks, stats)
+        except BaseException:
+            self._kill_pool()
+            raise
         for (assignment, vid) in tasks:
             record = results[vid]
             self.evaluator.admit(record)
             # Synthesized failure records describe transient worker
-            # infrastructure, not the variant — never persist them.
-            if self.cache is not None and vid not in synthesized:
+            # infrastructure, not the variant — never persist them
+            # (neither in the cache nor in the journal: a resumed
+            # campaign should re-attempt the evaluation instead).
+            if vid in synthesized:
+                continue
+            if self.cache is not None:
                 self.cache.put(record)
+            if self.journal is not None:
+                self.journal.variant(batch_index, record)
 
         records, hit_flags = [], []
         emitted: set[int] = set()
@@ -256,6 +280,14 @@ class ParallelOracle(BudgetedOracle):
                    ) -> tuple[dict[int, VariantRecord], set[int]]:
         """Evaluate (assignment, vid) pairs with retry and downgrade.
 
+        Retries of *transient* infrastructure failures (worker crash,
+        hang, unexpected exception) are separated by deterministic
+        exponential backoff — jitterless, so a replayed campaign waits
+        identically.  Deterministic evaluation outcomes (a variant
+        classified TIMEOUT or RUNTIME_ERROR by the worker's evaluator)
+        come back as ordinary records and never pass through the retry
+        path at all.
+
         Returns vid → record plus the set of vids whose record was
         synthesized from an irrecoverable worker failure.
         """
@@ -265,6 +297,17 @@ class ParallelOracle(BudgetedOracle):
         pending = [(a, vid, 0) for a, vid in tasks]
 
         while pending:
+            # Between retry rounds: back off before re-attempting failed
+            # work, and honour a pending graceful-shutdown request
+            # (everything journaled so far survives for the resume).
+            self._check_interrupt()
+            retry_round = max((att for _, _, att in pending), default=0)
+            if retry_round > 0 and self.config.retry_backoff_seconds > 0:
+                delay = min(
+                    self.config.retry_backoff_seconds * 2 ** (retry_round - 1),
+                    self.config.retry_backoff_max_seconds)
+                stats.backoff_seconds += delay
+                time.sleep(delay)
             pool = self._ensure_pool()
             futures = [(a, vid, attempts,
                         pool.submit(_worker_evaluate, a.key(), vid))

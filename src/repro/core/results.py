@@ -17,8 +17,40 @@ from .classification import Outcome
 from .evaluation import ProcPerf, VariantRecord
 from .search.base import SearchResult
 
-__all__ = ["record_to_dict", "record_from_dict", "save_records",
-           "load_records", "search_result_to_dict"]
+__all__ = ["record_to_dict", "record_from_dict", "validate_record_dict",
+           "save_records", "load_records", "search_result_to_dict"]
+
+#: Fields a serialized VariantRecord must carry to be loadable.  ``note``
+#: is optional (absent in old artifacts); everything else is structural.
+_REQUIRED_RECORD_FIELDS = frozenset({
+    "variant_id", "kinds", "fraction_lowered", "outcome", "error",
+    "speedup", "hotspot_seconds", "total_seconds", "convert_seconds",
+    "wrapped_calls", "proc_perf", "eval_wall_seconds",
+})
+
+
+def validate_record_dict(data: Any) -> bool:
+    """Cheap structural check that *data* will survive
+    :func:`record_from_dict`.
+
+    Crash-interrupted writers leave truncated or otherwise mangled
+    JSON-lines entries behind; loaders (result cache, campaign journal)
+    use this to skip such records with a warning instead of blowing up
+    on a ``KeyError`` deep inside deserialization.
+    """
+    if not isinstance(data, dict):
+        return False
+    if not _REQUIRED_RECORD_FIELDS <= data.keys():
+        return False
+    if not isinstance(data["kinds"], list):
+        return False
+    if not isinstance(data["proc_perf"], dict):
+        return False
+    try:
+        Outcome(data["outcome"])
+    except (ValueError, TypeError):
+        return False
+    return True
 
 
 def _num(x: Any) -> Any:

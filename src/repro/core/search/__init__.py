@@ -1,7 +1,7 @@
 """Search algorithms over the mixed-precision design space."""
 
-from .base import (BatchOracle, BudgetExhausted, FunctionOracle,
-                   SearchResult, partition)
+from .base import (BatchOracle, BudgetExhausted, CampaignInterrupted,
+                   FunctionOracle, SearchResult, partition)
 from .bruteforce import BruteForceSearch, optimal_frontier
 from .deltadebug import DeltaDebugSearch
 from .hierarchical import HierarchicalSearch
@@ -9,7 +9,8 @@ from .random_search import RandomSearch
 from .screened import ScreenedDeltaDebug, ScreenedSearchResult
 
 __all__ = [
-    "BatchOracle", "BudgetExhausted", "FunctionOracle", "SearchResult",
+    "BatchOracle", "BudgetExhausted", "CampaignInterrupted",
+    "FunctionOracle", "SearchResult",
     "partition", "BruteForceSearch", "optimal_frontier", "DeltaDebugSearch",
     "HierarchicalSearch", "RandomSearch", "ScreenedDeltaDebug",
     "ScreenedSearchResult",

@@ -19,12 +19,24 @@ from ..assignment import PrecisionAssignment
 from ..classification import Outcome
 from ..evaluation import VariantRecord
 
-__all__ = ["BudgetExhausted", "BatchOracle", "SearchResult",
-           "FunctionOracle", "partition"]
+__all__ = ["BudgetExhausted", "CampaignInterrupted", "BatchOracle",
+           "SearchResult", "FunctionOracle", "partition"]
 
 
 class BudgetExhausted(Exception):
     """The evaluation budget ran out mid-search."""
+
+
+class CampaignInterrupted(BudgetExhausted):
+    """The operator asked the campaign to stop (SIGINT/SIGTERM).
+
+    Subclasses :class:`BudgetExhausted` deliberately: every search
+    already treats budget exhaustion as "stop cleanly and return the
+    partial trajectory with ``finished=False``", which is exactly the
+    graceful-shutdown behaviour an interrupt needs — no search has to
+    know about signals.  The campaign driver distinguishes the two via
+    the interrupt flag and marks the result ``interrupted=True``.
+    """
 
 
 class BatchOracle(Protocol):

@@ -20,8 +20,8 @@ compiled and run on dedicated nodes in parallel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from ..assignment import PrecisionAssignment
 from ..evaluation import VariantRecord
@@ -39,6 +39,14 @@ class DeltaDebugSearch:
     #: Try the uniform-32 variant first (Precimonious does; it is also the
     #: vendor-supported configuration for MPAS-A).
     try_uniform_first: bool = True
+    #: Observability hook: called with a JSON-serializable dict of the
+    #: complete search state after every batch (the campaign journal
+    #: wires this to its atomic snapshot writer).  The state — accepted
+    #: kinds, remaining delta, partition granularity — is everything
+    #: needed to reconstruct where a dead search stood.  Never affects
+    #: the trajectory.
+    snapshot_hook: Optional[Callable[[dict], None]] = field(
+        default=None, compare=False)
 
     def run(self, space: SearchSpace, oracle: BatchOracle) -> SearchResult:
         records: list[VariantRecord] = []
@@ -57,6 +65,20 @@ class DeltaDebugSearch:
         # Candidates: atoms currently at 64-bit that we may still lower.
         delta = [a.qualified for a in accepted.atoms
                  if accepted.kind_of(a.qualified) == 8]
+        div = 2
+
+        def snapshot(phase: str) -> None:
+            if self.snapshot_hook is None:
+                return
+            self.snapshot_hook({
+                "algorithm": "delta-debug",
+                "phase": phase,
+                "batches": batches,
+                "evaluations": len(records),
+                "accepted_kinds": list(accepted.kinds),
+                "delta": list(delta),
+                "div": div,
+            })
 
         try:
             if self.try_uniform_first and delta:
@@ -66,13 +88,14 @@ class DeltaDebugSearch:
                     # Everything can be lowered: trivially 1-minimal... but
                     # confirm minimality by the normal loop over an empty
                     # delta (nothing left at 64-bit).
+                    snapshot("final")
                     return SearchResult(final=candidate, final_record=rec,
                                         records=records, finished=True,
                                         batches=batches,
                                         algorithm="delta-debug")
 
-            div = 2
             while delta:
+                snapshot("search")
                 div = min(div, len(delta))
                 subsets = partition(delta, div)
 
@@ -118,10 +141,12 @@ class DeltaDebugSearch:
                 break  # singletons all fail: accepted is 1-minimal
 
         except BudgetExhausted:
+            snapshot("exhausted")
             return SearchResult(final=accepted, final_record=accepted_record,
                                 records=records, finished=False,
                                 batches=batches, algorithm="delta-debug")
 
+        snapshot("final")
         return SearchResult(final=accepted, final_record=accepted_record,
                             records=records, finished=True, batches=batches,
                             algorithm="delta-debug")

@@ -102,3 +102,15 @@ class SearchError(ReproError):
 
 class CampaignError(ReproError):
     """The campaign orchestrator was misconfigured."""
+
+
+class JournalError(CampaignError):
+    """The campaign journal is missing, corrupt, or belongs to a
+    different experiment.
+
+    Raised in particular when a resume is attempted against a journal
+    whose recorded model spec, machine, noise seed, search space, or
+    search configuration does not match the running campaign — replaying
+    such a journal would silently corrupt the search trajectory, so the
+    resume is refused instead.
+    """

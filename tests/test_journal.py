@@ -1,0 +1,444 @@
+"""Crash-safe checkpoint/resume: the journal determinism suite.
+
+The contract (see ``repro.core.journal``): kill a journaled campaign
+after any batch — or mid-batch, or via SIGINT/SIGTERM — and the
+resumed campaign replays the journal at ~0 simulated node-seconds,
+continues from the exact batch where the dead process stopped, and
+produces a ``CampaignResult.to_json()`` byte-identical to an
+uninterrupted run.  A journal written for a different campaign
+(model spec, algorithm, trajectory-relevant config) is refused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.core import (CampaignConfig, DeltaDebugSearch, Outcome,
+                        ParallelOracle, RandomSearch, run_campaign)
+from repro.core.journal import CampaignJournal, JournalState, journal_header
+from repro.errors import CampaignError, JournalError
+from repro.models import FunarcCase, MpasCase
+
+
+def _funarc():
+    # Same sizing as tests/test_parallel.py: 27 evaluations, 6 batches.
+    return FunarcCase(n=150, error_threshold=4.5e-8)
+
+
+def _mpas():
+    return MpasCase(ncells=12, nlev=4, nsteps=5, nwork=3,
+                    error_threshold=1e-7)
+
+
+def _config(**kw) -> CampaignConfig:
+    kw.setdefault("nodes", 20)
+    kw.setdefault("wall_budget_seconds", 12 * 3600)
+    return CampaignConfig(**kw)
+
+
+class Boom(Exception):
+    """Stand-in for a hard crash (``kill -9``, OOM, node failure)."""
+
+
+def _kill_after(k: int):
+    """Batch callback that dies once batch *k* has been committed."""
+
+    def callback(bt):
+        if bt.batch_index >= k:
+            raise Boom(f"killed after batch {k}")
+
+    return callback
+
+
+def _assert_resumed(resumed, baseline, k: int) -> None:
+    """The tentpole acceptance: byte-identity plus free replay."""
+    assert resumed.to_json() == baseline.to_json()
+    assert resumed.resumed_from_batch == k + 1
+    telemetry = resumed.oracle.telemetry
+    replayed_batches = [b for b in telemetry if b.batch_index <= k]
+    assert replayed_batches, "resume replayed no batches"
+    # Replayed work is free: nothing dispatched, ~0 node-seconds.
+    assert all(b.dispatched == 0 for b in replayed_batches)
+    assert sum(b.sim_seconds for b in replayed_batches) == 0.0
+    assert sum(b.replayed for b in telemetry) > 0
+    # The telemetry invariant holds through replay.
+    for b in telemetry:
+        assert b.size == b.dispatched + b.cache_hits
+
+
+@pytest.fixture(scope="module")
+def funarc_baseline():
+    return run_campaign(_funarc(), _config())
+
+
+@pytest.fixture(scope="module")
+def mpas_baseline():
+    return run_campaign(_mpas(), _config(max_evaluations=30))
+
+
+class TestKillAndResume:
+    """Death after batch k, for several k, serial and parallel."""
+
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_funarc_serial(self, funarc_baseline, tmp_path, k):
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(), journal_dir=journal_dir,
+                         batch_callback=_kill_after(k))
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=journal_dir)
+        _assert_resumed(resumed, funarc_baseline, k)
+
+    @pytest.mark.parametrize("k", [0, 3])
+    def test_funarc_workers(self, funarc_baseline, tmp_path, k):
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(workers=2),
+                         journal_dir=journal_dir,
+                         batch_callback=_kill_after(k))
+        resumed = run_campaign(_funarc(), _config(workers=2),
+                               resume_from=journal_dir)
+        _assert_resumed(resumed, funarc_baseline, k)
+
+    def test_killed_parallel_resumed_serial(self, funarc_baseline, tmp_path):
+        # Worker count is an execution knob, not campaign identity: a
+        # campaign killed under workers=2 resumes serially (and vice
+        # versa) because the journal stores results, not schedules.
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(workers=2),
+                         journal_dir=journal_dir,
+                         batch_callback=_kill_after(1))
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=journal_dir)
+        _assert_resumed(resumed, funarc_baseline, 1)
+
+    @pytest.mark.parametrize("k", [0, 2])
+    def test_mpas_serial(self, mpas_baseline, tmp_path, k):
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_mpas(), _config(max_evaluations=30),
+                         journal_dir=journal_dir,
+                         batch_callback=_kill_after(k))
+        resumed = run_campaign(_mpas(), _config(max_evaluations=30),
+                               resume_from=journal_dir)
+        _assert_resumed(resumed, mpas_baseline, k)
+
+    def test_mpas_workers(self, mpas_baseline, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_mpas(), _config(max_evaluations=30, workers=2),
+                         journal_dir=journal_dir,
+                         batch_callback=_kill_after(1))
+        resumed = run_campaign(_mpas(), _config(max_evaluations=30,
+                                                workers=2),
+                               resume_from=journal_dir)
+        _assert_resumed(resumed, mpas_baseline, 1)
+
+    def test_double_kill_double_resume(self, funarc_baseline, tmp_path):
+        # Die, resume, die again further along, resume again: each
+        # allocation extends the same journal.
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(), journal_dir=journal_dir,
+                         batch_callback=_kill_after(0))
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(), resume_from=journal_dir,
+                         batch_callback=_kill_after(2))
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=journal_dir)
+        _assert_resumed(resumed, funarc_baseline, 2)
+        state = JournalState.load(journal_dir)
+        assert state.resumes == 2
+        assert state.finished
+
+    def test_resume_of_finished_campaign_is_pure_replay(
+            self, funarc_baseline, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        first = run_campaign(_funarc(), _config(), journal_dir=journal_dir)
+        assert first.to_json() == funarc_baseline.to_json()
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=journal_dir)
+        assert resumed.to_json() == funarc_baseline.to_json()
+        telemetry = resumed.oracle.telemetry
+        assert sum(b.dispatched for b in telemetry) == 0
+        assert resumed.oracle.wall_seconds_used == 0.0
+
+
+class TestMidBatchCrash:
+    def test_crash_between_variant_appends(self, funarc_baseline, tmp_path):
+        # Die partway through journaling batch 2 (after 5 of its
+        # write-ahead variant records): the resume replays the complete
+        # batches, serves the journaled half of batch 2, and freshly
+        # evaluates only the remainder.
+        journal_dir = str(tmp_path / "journal")
+        original = CampaignJournal.variant
+        appends = {"n": 0}
+
+        def dying_variant(self, batch, record):
+            appends["n"] += 1
+            if appends["n"] > 5:
+                raise Boom("crashed mid-batch")
+            original(self, batch, record)
+
+        CampaignJournal.variant = dying_variant
+        try:
+            with pytest.raises(Boom):
+                run_campaign(_funarc(), _config(), journal_dir=journal_dir)
+        finally:
+            CampaignJournal.variant = original
+
+        state = JournalState.load(journal_dir)
+        assert state.completed_batches < state.intent_batches
+
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=journal_dir)
+        assert resumed.to_json() == funarc_baseline.to_json()
+        assert resumed.resumed_from_batch == state.completed_batches
+
+    def test_torn_trailing_line_tolerated(self, funarc_baseline, tmp_path):
+        # A crash mid-append leaves a half-written JSON line; the loader
+        # warns and skips it instead of refusing the whole journal.
+        journal_dir = tmp_path / "journal"
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(), journal_dir=str(journal_dir),
+                         batch_callback=_kill_after(1))
+        with (journal_dir / "journal.jsonl").open("a") as fh:
+            fh.write('{"type": "variant", "batch": 2, "rec')
+
+        state = JournalState.load(journal_dir)
+        assert any("torn journal line" in w for w in state.warnings)
+
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=str(journal_dir))
+        _assert_resumed(resumed, funarc_baseline, 1)
+
+
+class TestGracefulSignals:
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_signal_drains_and_resumes(self, funarc_baseline, tmp_path,
+                                       signum):
+        journal_dir = str(tmp_path / "journal")
+
+        def send_signal(bt):
+            if bt.batch_index == 1:
+                os.kill(os.getpid(), signum)
+
+        result = run_campaign(_funarc(), _config(), journal_dir=journal_dir,
+                              batch_callback=send_signal)
+        # Partial result, not a stack trace: batches 0-1 committed.
+        assert result.interrupted
+        assert not result.search.finished
+        assert len(result.oracle.telemetry) == 2
+        assert result.records
+        # The previous signal dispositions are restored on exit.
+        assert signal.getsignal(signum) is signal.default_int_handler \
+            or signal.getsignal(signum) is signal.SIG_DFL
+
+        state = JournalState.load(journal_dir)
+        assert state.interruptions == 1
+        assert not state.finished
+
+        resumed = run_campaign(_funarc(), _config(),
+                               resume_from=journal_dir)
+        assert not resumed.interrupted
+        assert resumed.search.finished
+        _assert_resumed(resumed, funarc_baseline, 1)
+
+    def test_signal_without_journal_still_graceful(self):
+        def send_signal(bt):
+            if bt.batch_index == 0:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        result = run_campaign(_funarc(), _config(),
+                              batch_callback=send_signal)
+        assert result.interrupted
+        assert len(result.oracle.telemetry) == 1
+
+    def test_handlers_not_installed_when_disabled(self):
+        before = signal.getsignal(signal.SIGTERM)
+        seen = []
+
+        def probe(bt):
+            seen.append(signal.getsignal(signal.SIGTERM))
+            raise Boom("stop after one batch")
+
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(handle_signals=False),
+                         batch_callback=probe)
+        assert seen == [before]
+
+
+class TestResumeRefusal:
+    """Fingerprint validation: never replay someone else's journal."""
+
+    @pytest.fixture()
+    def journal_dir(self, tmp_path):
+        d = str(tmp_path / "journal")
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(), journal_dir=d,
+                         batch_callback=_kill_after(0))
+        return d
+
+    def test_different_model_spec_refused(self, journal_dir):
+        with pytest.raises(JournalError, match="evaluation context"):
+            run_campaign(FunarcCase(n=150, error_threshold=1e-6),
+                         _config(), resume_from=journal_dir)
+
+    def test_different_algorithm_refused(self, journal_dir):
+        with pytest.raises(JournalError, match="algorithm"):
+            run_campaign(_funarc(), _config(),
+                         algorithm=RandomSearch(samples=5),
+                         resume_from=journal_dir)
+
+    def test_different_config_refused(self, journal_dir):
+        with pytest.raises(JournalError, match="config"):
+            run_campaign(_funarc(), _config(max_evaluations=17),
+                         resume_from=journal_dir)
+
+    def test_worker_count_is_not_identity(self, journal_dir, funarc_baseline):
+        resumed = run_campaign(_funarc(), _config(workers=2),
+                               resume_from=journal_dir)
+        assert resumed.to_json() == funarc_baseline.to_json()
+
+    def test_resume_without_journal_dir_refused(self):
+        config = CampaignConfig(resume=True)
+        with pytest.raises(CampaignError, match="no journal directory"):
+            run_campaign(_funarc(), config)
+
+    def test_resume_of_missing_journal_refused(self, tmp_path):
+        with pytest.raises(JournalError, match="nothing to resume"):
+            run_campaign(_funarc(), _config(),
+                         resume_from=str(tmp_path / "absent"))
+
+    def test_fresh_run_refuses_existing_journal(self, journal_dir):
+        with pytest.raises(JournalError, match="already exists"):
+            run_campaign(_funarc(), _config(), journal_dir=journal_dir)
+
+
+class TestJournalArtifacts:
+    def test_writeahead_order_and_terminal_marker(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        run_campaign(_funarc(), _config(), journal_dir=str(journal_dir))
+        lines = [json.loads(line) for line in
+                 (journal_dir / "journal.jsonl").read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[-1]["type"] == "finished"
+        # Every batch: intent strictly precedes its variants and done.
+        first_seen: dict[str, dict[int, int]] = {}
+        for i, entry in enumerate(lines):
+            kind, batch = entry.get("type"), entry.get("batch")
+            if batch is not None:
+                first_seen.setdefault(kind, {}).setdefault(batch, i)
+        for batch, done_at in first_seen["batch_done"].items():
+            assert first_seen["batch_intent"][batch] < done_at
+        for batch, var_at in first_seen.get("variant", {}).items():
+            assert first_seen["batch_intent"][batch] < var_at
+
+        state = JournalState.load(journal_dir)
+        assert state.finished
+        assert state.completed_batches == len(first_seen["batch_done"])
+        assert state.evaluations == 27
+
+    def test_snapshot_written_atomically(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        run_campaign(_funarc(), _config(), journal_dir=str(journal_dir))
+        snapshot = json.loads((journal_dir / "snapshot.json").read_text())
+        assert snapshot["algorithm"] == "delta-debug"
+        assert snapshot["phase"] == "final"
+        assert not (journal_dir / "snapshot.json.tmp").exists()
+
+    def test_unreadable_snapshot_is_advisory(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), _config(), journal_dir=str(journal_dir),
+                         batch_callback=_kill_after(1))
+        (journal_dir / "snapshot.json").write_text("{truncated")
+        state = JournalState.load(journal_dir)
+        assert state.snapshot is None
+        assert any("snapshot" in w for w in state.warnings)
+
+
+class TestRetryBackoff:
+    def test_exponential_backoff_between_retry_rounds(self):
+        case = FunarcCase(n=150)
+        config = _config(workers=2, worker_retries=2,
+                         worker_timeout_seconds=15.0,
+                         retry_backoff_seconds=0.05,
+                         retry_backoff_max_seconds=0.08)
+        oracle = ParallelOracle.for_model(case, config=config,
+                                          fault=("crash", ""))
+        try:
+            oracle.evaluate_batch([case.space.all_single()])
+        finally:
+            oracle.close()
+        batch = oracle.telemetry[0]
+        assert batch.retries == 2
+        # Jitterless: round 1 waits base, round 2 waits min(2*base, cap).
+        assert batch.backoff_seconds == pytest.approx(0.05 + 0.08)
+
+    def test_backoff_disabled(self):
+        case = FunarcCase(n=150)
+        config = _config(workers=2, worker_retries=1,
+                         worker_timeout_seconds=15.0,
+                         retry_backoff_seconds=0.0)
+        oracle = ParallelOracle.for_model(case, config=config,
+                                          fault=("crash", ""))
+        try:
+            oracle.evaluate_batch([case.space.all_single()])
+        finally:
+            oracle.close()
+        assert oracle.telemetry[0].backoff_seconds == 0.0
+
+    def test_clean_batches_never_back_off(self, funarc_baseline):
+        # Deterministic outcomes (including classified failures) skip
+        # the retry path entirely, so a healthy campaign sleeps 0s.
+        assert sum(b.backoff_seconds
+                   for b in funarc_baseline.oracle.telemetry) == 0.0
+
+    def test_synthesized_failures_not_journaled(self, tmp_path):
+        # An irrecoverable worker failure is downgraded for *this*
+        # allocation but never journaled: the resumed campaign gets a
+        # fresh chance to evaluate the variant on healthy hardware.
+        case = FunarcCase(n=150)
+        config = _config(workers=2, worker_retries=0,
+                         worker_timeout_seconds=15.0,
+                         retry_backoff_seconds=0.0)
+        oracle = ParallelOracle.for_model(case, config=config,
+                                          fault=("crash", ""))
+        header = journal_header(oracle.evaluator, case.space,
+                                DeltaDebugSearch(), config)
+        journal = CampaignJournal.create(str(tmp_path / "journal"), header)
+        oracle.journal = journal
+        try:
+            (record,) = oracle.evaluate_batch([case.space.all_single()])
+        finally:
+            oracle.close()
+            journal.close()
+        assert record.outcome is Outcome.RUNTIME_ERROR
+
+        state = JournalState.load(tmp_path / "journal")
+        assert state.records == {}          # no synthesized variant record
+        assert state.completed_batches == 1  # but the batch is committed
+
+    def test_pool_shut_down_on_interrupt(self):
+        # Regression: a KeyboardInterrupt mid-batch must not leak worker
+        # processes — the pool is killed on *any* exception path.
+        case = FunarcCase(n=150)
+        oracle = ParallelOracle.for_model(case, config=_config(workers=2))
+
+        def interrupt_mid_batch(tasks, stats):
+            oracle._ensure_pool()
+            raise KeyboardInterrupt
+
+        oracle._run_tasks = interrupt_mid_batch
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                oracle.evaluate_batch([case.space.all_single()])
+            assert oracle._pool is None
+        finally:
+            oracle.close()

@@ -176,3 +176,45 @@ class TestCacheRoundTrip:
         reloaded = ResultCache.for_evaluator(tmp_path, evaluator)
         assert len(reloaded) == 1
         assert reloaded.get(record.kinds, 3) is not None
+        assert any("interrupted write" in w for w in reloaded.load_warnings)
+
+    def test_entries_after_torn_line_still_load(self, tmp_path):
+        # A resumed writer appends complete records past the tear left
+        # by its killed predecessor; both sides of the tear are served.
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        first = evaluator.evaluate_assigned(case.space.all_single(), 0)
+        cache.put(first)
+        with cache.path.open("a") as fh:
+            fh.write('{"context": "torn mid-append\n')
+        second = evaluator.evaluate_assigned(case.space.baseline(), 1)
+        cache.put(second)
+
+        reloaded = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert reloaded.get(first.kinds, 0) is not None
+        assert reloaded.get(second.kinds, 1) is not None
+        assert len(reloaded.load_warnings) == 1
+
+    def test_malformed_record_body_skipped_with_warning(self, tmp_path):
+        import json
+
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        good = evaluator.evaluate_assigned(case.space.all_single(), 0)
+        cache.put(good)
+        # Structurally broken entries: right context, wrong shapes.
+        with cache.path.open("a") as fh:
+            fh.write(json.dumps({"context": cache.context,
+                                 "key": [8, 8],
+                                 "record": {"variant_id": 1}}) + "\n")
+            fh.write(json.dumps(["not", "a", "cache", "entry"]) + "\n")
+
+        reloaded = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert reloaded.get(good.kinds, 0) is not None
+        assert not reloaded.contains((8, 8))
+        assert sum("malformed cache record" in w
+                   for w in reloaded.load_warnings) == 1
+        assert sum("not a cache entry" in w
+                   for w in reloaded.load_warnings) == 1
