@@ -16,8 +16,9 @@ import time
 
 import pytest
 
-from repro.core import CampaignConfig, run_campaign
+from repro.core import BatchTelemetry, CampaignConfig, run_campaign
 from repro.models import FunarcCase
+from repro.obs import subscribes_to
 
 
 def _case():
@@ -44,7 +45,8 @@ def test_resume_replays_for_free(tmp_path):
     # Journaled run: same bytes, bounded fsync overhead.
     journal_dir = str(tmp_path / "journal")
     started = time.perf_counter()
-    journaled = run_campaign(_case(), _config(), journal_dir=journal_dir)
+    journaled = run_campaign(_case(),
+                             _config().overriding(journal_dir=journal_dir))
     journaled_wall = time.perf_counter() - started
     assert journaled.to_json() == baseline.to_json()
     assert journaled_wall < 5 * base_wall + 1.0
@@ -54,16 +56,20 @@ def test_resume_replays_for_free(tmp_path):
     kill_after = batches - 2
     crash_dir = str(tmp_path / "crash-journal")
 
+    @subscribes_to(BatchTelemetry)
     def die_late(bt):
         if bt.batch_index >= kill_after:
             raise _KilledAfter(str(bt.batch_index))
 
     with pytest.raises(_KilledAfter):
-        run_campaign(_case(), _config(), journal_dir=crash_dir,
-                     batch_callback=die_late)
+        run_campaign(_case(),
+                     _config().overriding(journal_dir=crash_dir,
+                                          subscribers=(die_late,)))
 
     started = time.perf_counter()
-    resumed = run_campaign(_case(), _config(), resume_from=crash_dir)
+    resumed = run_campaign(_case(),
+                           _config().overriding(journal_dir=crash_dir,
+                                                resume=True))
     resume_wall = time.perf_counter() - started
 
     assert resumed.to_json() == baseline.to_json()

@@ -6,13 +6,22 @@ Commands mirror the paper's workflow stages:
 ``profile MODEL``   GPTL-style timer report + hotspot share (Table I row)
 ``assess MODEL``    the three tunable-hotspot criteria (paper §V)
 ``tune MODEL``      run a precision-tuning search and report the results
+``trace DIR``       summarize a campaign's span trace (per-stage time)
 ``transform MODEL`` apply an assignment as source-to-source transformation
 ``reduce MODEL``    show the taint-based program reduction (paper §III-C)
+
+Flag conventions: directory-valued knobs are uniformly ``--cache-dir``
+/ ``--journal-dir`` / ``--trace-dir``; the execution knobs
+(``--workers``, ``--cache-dir``) are one shared parent parser, so they
+spell and behave identically on every dynamic command.  ``tune --json``
+emits the machine-readable result on stdout and keeps every human-facing
+line on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -24,22 +33,26 @@ from .core import (CampaignConfig, DeltaDebugSearch, Evaluator,
 from .core.results import save_records
 from .fortran import reduce_program, unparse
 from .models import MODEL_FACTORIES, get_model
+from .obs import ConsoleRenderer, summarize_trace
 from .perf import DERECHO, time_execution
-from .reporting import (ascii_scatter, scatter_from_records, variant_diff,
-                        variant_source)
+from .reporting import (ascii_scatter, render_trace_summary,
+                        scatter_from_records, variant_diff, variant_source)
 
 __all__ = ["main", "build_parser"]
 
 
-def _add_execution_args(p: argparse.ArgumentParser) -> None:
-    """Evaluation-engine knobs shared by the dynamic commands."""
-    p.add_argument("--workers", type=int, default=1,
+def _execution_parent() -> argparse.ArgumentParser:
+    """Shared evaluation-engine flags (argparse parent parser)."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("evaluation engine")
+    g.add_argument("--workers", type=int, default=1,
                    help="worker processes for variant evaluation "
                         "(default 1 = in-process; results are "
                         "bit-identical either way)")
-    p.add_argument("--cache-dir", default=None,
+    g.add_argument("--cache-dir", default=None,
                    help="directory for the persistent variant-result "
                         "cache (reruns skip already-evaluated variants)")
+    return p
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Automated precision tuning of weather/climate model "
                     "miniatures (SC'24 case-study reproduction)",
     )
+    execution = _execution_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available model cases")
@@ -55,15 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="profile a model (Table I row)")
     p.add_argument("model", help="model name (see `repro list`)")
 
-    p = sub.add_parser("assess", help="tunability criteria (paper section V)")
+    p = sub.add_parser("assess", parents=[execution],
+                       help="tunability criteria (paper section V)")
     p.add_argument("model")
     p.add_argument("--probe", action="store_true",
                    help="also evaluate the uniform-32 variant through the "
                         "evaluation engine (a dynamic supplement to the "
                         "static criteria)")
-    _add_execution_args(p)
 
-    p = sub.add_parser("tune", help="run a precision-tuning search")
+    p = sub.add_parser("tune", parents=[execution],
+                       help="run a precision-tuning search")
     p.add_argument("model")
     p.add_argument("--algorithm", default="dd",
                    choices=["dd", "random", "hierarchical", "screened"],
@@ -84,9 +99,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume the campaign journaled in --journal-dir "
                         "(refuses a journal from a different model/"
                         "config/seed)")
+    p.add_argument("--trace-dir", default=None,
+                   help="write a crash-safe span trace (trace.jsonl) and "
+                        "Prometheus metrics (metrics.prom) here; inspect "
+                        "with `repro trace DIR`")
+    p.add_argument("--progress", action="store_true",
+                   help="live per-batch progress on stderr (budget spend, "
+                        "ETA, current search frontier)")
     p.add_argument("--batch-log", action="store_true",
-                   help="print one telemetry line per evaluated batch")
-    _add_execution_args(p)
+                   help="deprecated alias for --progress")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable campaign result on "
+                        "stdout (human output moves to stderr)")
+
+    p = sub.add_parser("trace",
+                       help="summarize a campaign span trace (per-stage "
+                            "time breakdown)")
+    p.add_argument("trace_dir", help="directory written by tune --trace-dir")
 
     p = sub.add_parser("transform",
                        help="apply a precision assignment to the source")
@@ -170,7 +199,7 @@ def _cmd_assess(args) -> int:
     return 0
 
 
-def _print_telemetry(oracle) -> None:
+def _print_telemetry(oracle, out=None) -> None:
     t = oracle.telemetry
     if not t:
         return
@@ -182,23 +211,37 @@ def _print_telemetry(oracle) -> None:
           f"retries {sum(b.retries for b in t)}  "
           f"backoff {sum(b.backoff_seconds for b in t):.2f}s  "
           f"failures {sum(b.failures for b in t)}  "
-          f"real {sum(b.wall_seconds for b in t):.2f}s")
+          f"real {sum(b.wall_seconds for b in t):.2f}s",
+          file=out if out is not None else sys.stdout)
 
 
-def _batch_log_line(bt) -> None:
-    """One operator-facing line per batch (``tune --batch-log``)."""
-    print(f"  batch {bt.batch_index:3d}: size {bt.size:3d}  "
-          f"dispatched {bt.dispatched:3d}  cache {bt.cache_hits:3d}  "
-          f"replayed {bt.replayed:3d}  retries {bt.retries}  "
-          f"failures {bt.failures}  backoff {bt.backoff_seconds:.2f}s  "
-          f"sim {bt.sim_seconds:.0f}s")
+def _result_payload(result) -> dict:
+    """The ``tune --json`` stdout document: the deterministic search
+    payload plus an explicitly separate execution section."""
+    payload = json.loads(result.to_json())
+    payload["execution"] = {
+        "interrupted": result.interrupted,
+        "resumed_from_batch": result.resumed_from_batch,
+        "journal_dir": result.journal_dir,
+        "trace_dir": result.trace_dir,
+        "wall_hours": result.wall_hours(),
+        "batches": [bt.as_dict() for bt in result.oracle.telemetry],
+    }
+    return payload
 
 
 def _cmd_tune(args) -> int:
+    # With --json, stdout carries exactly one JSON document; everything
+    # meant for humans moves to stderr.
+    out = sys.stderr if args.json else sys.stdout
+
+    def say(text: str = "") -> None:
+        print(text, file=out)
+
     case = get_model(args.model)
     if args.threshold is not None:
         case.error_threshold = args.threshold
-    print(case.describe())
+    say(case.describe())
 
     if args.algorithm == "random":
         algorithm = RandomSearch(samples=args.max_evals // 2)
@@ -211,66 +254,84 @@ def _cmd_tune(args) -> int:
 
     if args.resume and not args.journal_dir:
         raise SystemExit("error: --resume requires --journal-dir")
+    subscribers = []
+    if args.progress or args.batch_log:
+        if args.batch_log and not args.progress:
+            print("note: --batch-log is deprecated; use --progress",
+                  file=sys.stderr)
+        subscribers.append(ConsoleRenderer(stream=sys.stderr))
     config = CampaignConfig(
         wall_budget_seconds=args.budget_hours * 3600.0,
         max_evaluations=args.max_evals,
         workers=args.workers,
         cache_dir=args.cache_dir,
-    )
-    result = run_campaign(
-        case, config, algorithm=algorithm,
         journal_dir=args.journal_dir,
-        resume_from=args.journal_dir if args.resume else None,
-        batch_callback=_batch_log_line if args.batch_log else None,
+        resume=args.resume,
+        trace_dir=args.trace_dir,
+        subscribers=tuple(subscribers),
     )
+    result = run_campaign(case, config, algorithm=algorithm)
     if result.resumed_from_batch is not None:
-        print(f"resumed from batch {result.resumed_from_batch} "
-              f"(journal: {result.journal_dir})")
+        say(f"resumed from batch {result.resumed_from_batch} "
+            f"(journal: {result.journal_dir})")
     if result.preprocessing_note:
-        print(f"note: {result.preprocessing_note}")
+        say(f"note: {result.preprocessing_note}")
     if not result.records:
-        print("no variants evaluated (interrupted before the first "
-              "batch completed)")
+        say("no variants evaluated (interrupted before the first "
+            "batch completed)")
         if result.interrupted and result.journal_dir:
-            print(f"resume with: repro tune {args.model} "
-                  f"--journal-dir {result.journal_dir} --resume")
+            say(f"resume with: repro tune {args.model} "
+                f"--journal-dir {result.journal_dir} --resume")
+        if args.json:
+            print(json.dumps(_result_payload(result), sort_keys=True))
         return 0
     summary = result.summary()
-    print(f"\nvariants: {summary.total}  pass {summary.pass_pct:.1f}%  "
-          f"fail {summary.fail_pct:.1f}%  timeout {summary.timeout_pct:.1f}%  "
-          f"error {summary.error_pct:.1f}%")
-    print(f"best speedup (passing): {summary.best_speedup:.3f}x  "
-          f"finished: {summary.finished}  "
-          f"simulated wall: {result.wall_hours():.1f} h")
-    _print_telemetry(result.oracle)
+    say(f"\nvariants: {summary.total}  pass {summary.pass_pct:.1f}%  "
+        f"fail {summary.fail_pct:.1f}%  timeout {summary.timeout_pct:.1f}%  "
+        f"error {summary.error_pct:.1f}%")
+    say(f"best speedup (passing): {summary.best_speedup:.3f}x  "
+        f"finished: {summary.finished}  "
+        f"simulated wall: {result.wall_hours():.1f} h")
+    _print_telemetry(result.oracle, out)
+    if result.trace_dir:
+        say(f"trace written to {result.trace_dir} "
+            f"(inspect with: repro trace {result.trace_dir})")
     if result.interrupted:
-        print(f"\ninterrupted: campaign stopped gracefully "
-              f"(partial result; in-flight work journaled)")
+        say(f"\ninterrupted: campaign stopped gracefully "
+            f"(partial result; in-flight work journaled)")
         if result.journal_dir:
-            print(f"resume with: repro tune {args.model} "
-                  f"--journal-dir {result.journal_dir} --resume")
+            say(f"resume with: repro tune {args.model} "
+                f"--journal-dir {result.journal_dir} --resume")
         else:
-            print("hint: pass --journal-dir to make interrupted runs "
-                  "resumable")
+            say("hint: pass --journal-dir to make interrupted runs "
+                "resumable")
 
     final = result.search.final_record
     if final is not None:
         kept = sorted(result.search.final.high())
-        print(f"1-minimal variant: {final.speedup:.3f}x, "
-              f"error {final.error:.3e}")
-        print(f"64-bit survivors ({len(kept)}):")
+        say(f"1-minimal variant: {final.speedup:.3f}x, "
+            f"error {final.error:.3e}")
+        say(f"64-bit survivors ({len(kept)}):")
         for name in kept[:20]:
-            print(f"  {name}")
+            say(f"  {name}")
         if len(kept) > 20:
-            print(f"  ... and {len(kept) - 20} more")
+            say(f"  ... and {len(kept) - 20} more")
 
     series = scatter_from_records(result.records, f"{case.name} search",
                                   error_threshold=case.error_threshold)
-    print("\n" + ascii_scatter(series))
+    say("\n" + ascii_scatter(series))
 
     if args.out:
         save_records(result.records, args.out)
-        print(f"\nraw records written to {args.out}")
+        say(f"\nraw records written to {args.out}")
+    if args.json:
+        print(json.dumps(_result_payload(result), sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    summary = summarize_trace(args.trace_dir)
+    print(render_trace_summary(summary))
     return 0
 
 
@@ -306,6 +367,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "assess": _cmd_assess,
     "tune": _cmd_tune,
+    "trace": _cmd_trace,
     "transform": _cmd_transform,
     "reduce": _cmd_reduce,
 }

@@ -16,7 +16,7 @@ from .campaign import (BatchTelemetry, BudgetedOracle, CampaignConfig,
                        CampaignResult, CampaignSummary, InterruptFlag,
                        make_oracle, run_campaign)
 from .classification import Outcome
-from .evaluation import Evaluator, ProcPerf, VariantRecord
+from .evaluation import STAGES, Evaluator, ProcPerf, VariantRecord
 from .journal import CampaignJournal, JournalState, journal_header
 from .parallel import ParallelOracle, WorkerSpec
 from .metrics import (choose_n_runs, l2_over_axis, median_time,
@@ -29,7 +29,8 @@ from .search import (BruteForceSearch, CampaignInterrupted, DeltaDebugSearch,
 __all__ = [
     "PrecisionAssignment", "SearchAtom", "collect_atoms", "BatchTelemetry",
     "BudgetedOracle", "CampaignConfig", "CampaignResult", "CampaignSummary",
-    "InterruptFlag", "make_oracle", "run_campaign", "Outcome", "Evaluator",
+    "InterruptFlag", "make_oracle", "run_campaign", "Outcome", "STAGES",
+    "Evaluator",
     "ProcPerf", "VariantRecord", "CampaignJournal", "JournalState",
     "journal_header", "ParallelOracle", "WorkerSpec", "ResultCache",
     "evaluation_context", "choose_n_runs", "l2_over_axis", "median_time",

@@ -20,24 +20,44 @@ real worker processes (see :mod:`repro.core.parallel`), and
 (:mod:`repro.core.cache`).  Both paths are bit-identical to serial
 in-process evaluation; the determinism suite in
 ``tests/test_parallel.py`` enforces this.
+
+Observability (:mod:`repro.obs`): every campaign emits typed lifecycle
+events — campaign/batch/variant, per-variant pipeline stages, cache and
+journal provenance, worker retry/backoff — on an in-process
+:class:`~repro.obs.EventBus`; attach subscribers via
+``CampaignConfig.subscribers``.  Setting ``trace_dir`` additionally
+writes a crash-safe JSON-lines span trace (wall *and* simulated
+durations, reconciling exactly with the budget ledger) plus a
+Prometheus-style ``metrics.prom``; ``repro trace <dir>`` summarizes a
+trace into the per-stage time breakdown.
 """
 
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import json
 import math
 import signal as _signal
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional
 
 from ..errors import CampaignError, ReproError
+from ..obs.bus import EventBus, subscribes_to
+from ..obs.collectors import MetricsCollector
+from ..obs.events import (BatchCompleted, BatchStarted, CampaignFinished,
+                          CampaignStarted, PreprocessingDone,
+                          VariantEvaluated)
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from .assignment import PrecisionAssignment
 from .cache import ResultCache
 from .classification import Outcome
-from .evaluation import Evaluator, VariantRecord
+from .evaluation import STAGES, Evaluator, VariantRecord
 from .journal import CampaignJournal, JournalState, journal_header
 from .results import search_result_to_dict
 from .search.base import (BatchOracle, BudgetExhausted, CampaignInterrupted,
@@ -51,13 +71,21 @@ __all__ = ["CampaignConfig", "CampaignSummary", "CampaignResult",
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Experiment-level constants (paper §IV-A) plus execution knobs."""
+    """Experiment-level constants (paper §IV-A) plus execution knobs.
+
+    The config is the single home for everything :func:`run_campaign`
+    needs besides the model and its (injectable) collaborators — the
+    former kwarg sprawl (``seed``/``workers``/``cache_dir``/
+    ``journal_dir``/``resume_from``/``batch_callback``) now lives here;
+    derive variations with :meth:`overriding`.
+    """
 
     nodes: int = 20
     wall_budget_seconds: float = 12 * 3600.0
     timeout_factor: float = 3.0
     min_speedup: float = 1.0
     max_evaluations: int = 2000   # safety net far above any real search
+    seed: int = 2024              # the experiment seed (Eq.-1 noise draws)
 
     # -- real execution (repro.core.parallel / repro.core.cache) ----------
     workers: int = 1                        # >1 fans batches out to processes
@@ -78,6 +106,40 @@ class CampaignConfig:
     retry_backoff_seconds: float = 0.5
     retry_backoff_max_seconds: float = 8.0
 
+    # -- observability (repro.obs) -----------------------------------------
+    #: Directory for the crash-safe span trace (``trace.jsonl``) and the
+    #: Prometheus metrics export (``metrics.prom``); None disables both.
+    trace_dir: Optional[str] = None
+    #: Event-bus subscribers attached for the campaign's duration.  A
+    #: subscriber is any callable taking one event; restrict it to
+    #: specific event types with :func:`repro.obs.subscribes_to`.
+    #: Subscribers may abort the campaign by raising.
+    subscribers: tuple = ()
+
+    def __post_init__(self):
+        # Accept any iterable of subscribers but store a tuple: configs
+        # are frozen value objects and must stay safely shareable.
+        if not isinstance(self.subscribers, tuple):
+            object.__setattr__(self, "subscribers",
+                               tuple(self.subscribers))
+
+    def overriding(self, **overrides) -> "CampaignConfig":
+        """A copy of this config with the given fields replaced.
+
+        The config-first idiom for one-off variations::
+
+            run_campaign(model, base_config.overriding(workers=8))
+
+        Unknown field names raise ``TypeError`` immediately — silently
+        ignored knobs are how override bugs hide.
+        """
+        names = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - names
+        if unknown:
+            raise TypeError(
+                f"unknown CampaignConfig field(s): {sorted(unknown)}")
+        return dataclasses.replace(self, **overrides)
+
 
 @dataclass
 class BatchTelemetry:
@@ -95,6 +157,11 @@ class BatchTelemetry:
     sim_seconds: float        # simulated node-pool charge
     replayed: int = 0         # subset of cache_hits served from the journal
     backoff_seconds: float = 0.0   # real seconds slept between worker retries
+    #: Simulated charge decomposed over pipeline stages (the slowest
+    #: member of each node-pool wave sets the wave's charge, so its
+    #: stage split is the wave's stage split); values sum to
+    #: ``sim_seconds``.
+    stage_sim: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -106,6 +173,7 @@ class BatchTelemetry:
             "sim_seconds": self.sim_seconds,
             "replayed": self.replayed,
             "backoff_seconds": self.backoff_seconds,
+            "stage_sim": dict(self.stage_sim),
         }
 
 
@@ -191,8 +259,15 @@ class BudgetedOracle:
     journal: Optional[CampaignJournal] = None
     replay: Optional[JournalState] = None
     interrupt: Optional[InterruptFlag] = None
-    #: Per-batch observability callback (CLI progress lines, test
-    #: harnesses).  Called after each batch's telemetry is recorded.
+    #: Observability collaborators.  The bus and tracer default to inert
+    #: instances (an unsubscribed bus delivers to no one, ``Tracer(None)``
+    #: writes nothing) so directly constructed oracles behave exactly as
+    #: before; :func:`run_campaign` wires live ones.
+    bus: EventBus = field(default_factory=EventBus)
+    tracer: Tracer = field(default_factory=Tracer)
+    #: Deprecated per-batch callback — superseded by bus subscribers
+    #: (``CampaignConfig.subscribers`` with
+    #: ``subscribes_to(BatchTelemetry)``); still honoured when set.
     batch_callback: Optional[Callable[[BatchTelemetry], None]] = None
 
     def evaluate_batch(
@@ -217,36 +292,68 @@ class BudgetedOracle:
             # names the batch that was in flight.
             self.journal.batch_intent(
                 batch_index, [list(a.key()) for a in assignments])
-        records, hit_flags, stats = self._evaluate(assignments)
-        self.evaluations += len(assignments)
+        self.bus.emit(BatchStarted(batch_index=batch_index,
+                                   size=len(assignments)))
+        with self.tracer.span("batch", index=batch_index,
+                              size=len(assignments)) as batch_span:
+            records, hit_flags, stats = self._evaluate(assignments)
+            self.evaluations += len(assignments)
 
-        # Node-pool scheduling: variants run in waves of `nodes`; a wave
-        # takes as long as its slowest member.  Cache hits occupy no node
-        # (nothing is compiled or run for them), so they are free.
-        effective = [0.0 if hit else r.eval_wall_seconds
-                     for r, hit in zip(records, hit_flags)]
-        waves = max(1, math.ceil(len(records) / self.config.nodes))
-        batch_seconds = 0.0
-        for w in range(waves):
-            wave = effective[w * self.config.nodes:(w + 1) * self.config.nodes]
-            batch_seconds += max(wave, default=0.0)
+            # Node-pool scheduling: variants run in waves of `nodes`; a
+            # wave takes as long as its slowest member.  Cache hits occupy
+            # no node (nothing is compiled or run for them), so they are
+            # free.  The slowest member also sets the wave's stage split:
+            # decomposing *its* cost attributes the batch charge over
+            # transform/compile/run without changing the total.
+            effective = [0.0 if hit else r.eval_wall_seconds
+                         for r, hit in zip(records, hit_flags)]
+            nodes = self.config.nodes
+            waves = max(1, math.ceil(len(records) / nodes))
+            batch_seconds = 0.0
+            stage_sim: dict[str, float] = {}
+            for w in range(waves):
+                wave = effective[w * nodes:(w + 1) * nodes]
+                wave_max = max(wave, default=0.0)
+                batch_seconds += wave_max
+                if wave_max <= 0.0:
+                    continue
+                slowest = records[w * nodes + wave.index(wave_max)]
+                for stage, sim in self.evaluator.stage_timings(slowest):
+                    stage_sim[stage] = stage_sim.get(stage, 0.0) + sim
+            batch_span.set_sim(batch_seconds)
+            batch_wall = time.perf_counter() - started
+            for stage in STAGES:
+                sim = stage_sim.get(stage, 0.0)
+                if sim > 0.0:
+                    # Wall time is attributed pro-rata: stages share the
+                    # batch's real elapsed time as they share its charge.
+                    self.tracer.emit_span(
+                        stage, wall_seconds=batch_wall * sim / batch_seconds,
+                        sim_seconds=sim, attrs={"batch": batch_index})
         self.wall_seconds_used += batch_seconds
         self.batch_log.append((len(records), batch_seconds))
         if self.journal is not None:
             self.journal.batch_done(batch_index, batch_seconds,
                                     self.wall_seconds_used, self.evaluations)
-        self.telemetry.append(BatchTelemetry(
+        telemetry = BatchTelemetry(
             batch_index=batch_index, size=len(assignments),
             dispatched=stats.dispatched, completed=stats.completed,
             cache_hits=stats.cache_hits, disk_hits=stats.disk_hits,
             retries=stats.retries, failures=stats.failures,
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=batch_wall,
             sim_seconds=batch_seconds,
             replayed=stats.replayed,
             backoff_seconds=stats.backoff_seconds,
-        ))
+            stage_sim=stage_sim,
+        )
+        self.telemetry.append(telemetry)
+        # Emitted after the journal's batch_done commit so a subscriber
+        # that aborts the campaign (test kill hooks) leaves the batch
+        # durably completed — the semantics the resume suite pins down.
+        self.bus.emit(BatchCompleted(telemetry=telemetry))
+        self.bus.emit(telemetry)
         if self.batch_callback is not None:
-            self.batch_callback(self.telemetry[-1])
+            self.batch_callback(telemetry)
         return records
 
     # ------------------------------------------------------------------
@@ -264,7 +371,7 @@ class BudgetedOracle:
     def _external_record(self, key: tuple[int, ...], vid: int
                          ) -> tuple[Optional[VariantRecord], str]:
         """Resolve a variant from the journal replay or the persistent
-        cache — ("replay"/"cache"), both under the variant-id contract.
+        cache — ("replay"/"disk"), both under the variant-id contract.
 
         The journal is consulted first: on resume it is authoritative
         for the previous allocation's trajectory, and serving it keeps
@@ -277,8 +384,29 @@ class BudgetedOracle:
         if self.cache is not None:
             record = self.cache.get(key, vid)
             if record is not None:
-                return record, "cache"
+                return record, "disk"
         return None, ""
+
+    def _emit_variant(self, batch_index: int, record: VariantRecord,
+                      source: str) -> None:
+        """Publish one variant's resolution on the bus.
+
+        The payload is deterministic by construction — ids, outcomes,
+        provenance, and *simulated* seconds only — so serial and
+        parallel runs of the same seed emit identical variant-level
+        event multisets (real wall clock lives in the span trace).
+        """
+        charged = source in ("fresh", "worker-failure")
+        self.bus.emit(VariantEvaluated(
+            batch_index=batch_index,
+            variant_id=record.variant_id,
+            outcome=record.outcome.name,
+            source=source,
+            sim_seconds=record.eval_wall_seconds if charged else 0.0,
+            stages=self.evaluator.stage_timings(record) if charged else (),
+            speedup=record.speedup,
+            fraction_lowered=record.fraction_lowered,
+        ))
 
     # ------------------------------------------------------------------
 
@@ -302,6 +430,7 @@ class BudgetedOracle:
             self._check_interrupt()
             record = self.evaluator.lookup(assignment)
             hit = record is not None
+            source = "memory"
             if record is None:
                 vid = self.evaluator.reserve_id()
                 record, source = self._external_record(assignment.key(), vid)
@@ -313,7 +442,15 @@ class BudgetedOracle:
                         stats.disk_hits += 1
                     self.evaluator.admit(record)
                 else:
+                    source = "fresh"
+                    eval_started = time.perf_counter()
                     record = self.evaluator.evaluate_assigned(assignment, vid)
+                    self.tracer.emit_span(
+                        "variant",
+                        wall_seconds=time.perf_counter() - eval_started,
+                        sim_seconds=record.eval_wall_seconds,
+                        attrs={"id": record.variant_id,
+                               "outcome": record.outcome.name})
                     self.evaluator.admit(record)
                     if self.cache is not None:
                         self.cache.put(record)
@@ -323,6 +460,7 @@ class BudgetedOracle:
                     stats.completed += 1
             if hit:
                 stats.cache_hits += 1
+            self._emit_variant(batch_index, record, source)
             records.append(record)
             hit_flags.append(hit)
         return records, hit_flags, stats
@@ -335,12 +473,15 @@ def make_oracle(
     model,                                  # repro.models.base.ModelCase
     config: CampaignConfig,
     evaluator: Optional[Evaluator] = None,
-    seed: int = 2024,
+    seed: Optional[int] = None,
 ) -> BudgetedOracle:
-    """The oracle for *config*: serial, cached, and/or process-parallel."""
+    """The oracle for *config*: serial, cached, and/or process-parallel.
+
+    *seed* overrides ``config.seed`` when given (kept for callers that
+    predate the config-first API)."""
     if evaluator is None:
         evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
-                              seed=seed)
+                              seed=config.seed if seed is None else seed)
     cache = None
     if config.cache_dir:
         cache = ResultCache.for_evaluator(config.cache_dir, evaluator)
@@ -386,6 +527,10 @@ class CampaignResult:
     #: batches below this index were replayed); None for fresh runs.
     resumed_from_batch: Optional[int] = None
     journal_dir: Optional[str] = None
+    #: Live metrics registry fed from the campaign's event bus; also
+    #: exported as ``metrics.prom`` in ``trace_dir`` when tracing.
+    metrics: Optional[MetricsRegistry] = None
+    trace_dir: Optional[str] = None
 
     @property
     def records(self) -> list[VariantRecord]:
@@ -415,6 +560,32 @@ class CampaignResult:
         return (self.oracle.wall_seconds_used
                 + self.preprocessing_seconds) / 3600.0
 
+    def deterministic_metrics(self) -> dict:
+        """Search-derived metrics safe to embed in :meth:`to_json`.
+
+        Computed from the search records alone — outcome counts,
+        evaluation/batch totals, and the simulated spend decomposed over
+        pipeline stages — so the values are identical across worker
+        counts, cache states, and kill/resume cycles.  The live
+        :attr:`metrics` registry (which also carries real wall clock and
+        cache/retry counters) is deliberately *not* embedded.
+        """
+        recs = self.search.records
+        outcomes = {o.name: 0 for o in Outcome}
+        for r in recs:
+            outcomes[r.outcome.name] += 1
+        stage_sim = {"preprocess": self.preprocessing_seconds}
+        stage_sim.update({s: 0.0 for s in STAGES})
+        for r in recs:
+            for stage, sim in self.evaluator.stage_timings(r):
+                stage_sim[stage] += sim
+        return {
+            "evaluations": len(recs),
+            "batches": self.search.batches,
+            "outcomes": outcomes,
+            "sim_seconds_by_stage": stage_sim,
+        }
+
     def to_json(self) -> str:
         """Canonical serialization of everything the search decided.
 
@@ -422,13 +593,67 @@ class CampaignResult:
         and worker counters) and recovery metadata (``interrupted``,
         ``resumed_from_batch``): the payload must be byte-identical
         across worker counts, cache states, and kill/resume cycles —
-        the determinism contract the tests pin down.
+        the determinism contract the tests pin down.  The embedded
+        ``metrics`` section honours that contract (see
+        :meth:`deterministic_metrics`).
         """
         return json.dumps({
             "model": self.model_name,
+            "metrics": self.deterministic_metrics(),
             "preprocessing_note": self.preprocessing_note,
             "search": search_result_to_dict(self.search),
         }, sort_keys=True)
+
+
+#: Former ``run_campaign`` keyword parameters now owned by
+#: :class:`CampaignConfig` (or, for ``batch_callback``, superseded by
+#: ``config.subscribers``).  Still accepted with a DeprecationWarning.
+_LEGACY_KWARGS = ("seed", "workers", "cache_dir", "journal_dir",
+                  "resume_from", "batch_callback")
+
+
+def _telemetry_subscriber(callback: Callable[[BatchTelemetry], None]):
+    """Adapt a legacy ``batch_callback`` into a typed bus subscriber."""
+    @subscribes_to(BatchTelemetry)
+    def deliver(telemetry):
+        callback(telemetry)
+    return deliver
+
+
+def _apply_legacy_kwargs(config: CampaignConfig,
+                         legacy: dict) -> CampaignConfig:
+    """Fold deprecated ``run_campaign`` kwargs into the config.
+
+    Precedence is pinned by ``tests/test_campaign_api.py``: an explicit
+    kwarg wins over the corresponding config field (it is the more
+    specific statement of intent), and an explicit ``journal_dir`` wins
+    over ``resume_from`` for the directory choice — matching the old
+    signature's ``journal_dir or resume_from or config.journal_dir``.
+    """
+    unknown = set(legacy) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"run_campaign() got unexpected keyword argument(s): "
+            f"{sorted(unknown)}")
+    supplied = {k: v for k, v in legacy.items() if v is not None}
+    if not supplied:
+        return config
+    warnings.warn(
+        f"run_campaign kwargs {sorted(supplied)} are deprecated; pass "
+        f"them on CampaignConfig instead (config.overriding(...), with "
+        f"resume_from -> journal_dir + resume=True and batch_callback "
+        f"-> subscribers)",
+        DeprecationWarning, stacklevel=3)
+    overrides = {k: supplied[k] for k in
+                 ("seed", "workers", "cache_dir", "journal_dir")
+                 if k in supplied}
+    if "resume_from" in supplied:
+        overrides.setdefault("journal_dir", supplied["resume_from"])
+        overrides["resume"] = True
+    if "batch_callback" in supplied:
+        overrides["subscribers"] = config.subscribers + (
+            _telemetry_subscriber(supplied["batch_callback"]),)
+    return config.overriding(**overrides)
 
 
 def run_campaign(
@@ -436,45 +661,54 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     algorithm=None,
     evaluator: Optional[Evaluator] = None,
-    seed: int = 2024,
-    workers: Optional[int] = None,
-    cache_dir: Optional[str] = None,
-    journal_dir: Optional[str] = None,
-    resume_from: Optional[str] = None,
-    batch_callback: Optional[Callable[[BatchTelemetry], None]] = None,
+    **legacy,
 ) -> CampaignResult:
     """Run the full tuning campaign for one model case.
 
-    *workers* / *cache_dir* / *journal_dir* override the corresponding
-    :class:`CampaignConfig` fields (convenience for callers that keep a
-    shared config).  *resume_from* names a journal directory written by
-    a previous (killed, interrupted, or even finished) campaign: its
-    completed work is replayed at ~0 cost and the search continues from
+    The config-first API: everything about *how* the campaign executes —
+    seed, workers, cache/journal/trace directories, resume, subscribers —
+    lives on :class:`CampaignConfig` (derive one-off variations with
+    :meth:`CampaignConfig.overriding`).  *algorithm* and *evaluator*
+    remain injectable collaborators.
+
+    With ``config.resume`` the journal directory written by a previous
+    (killed, interrupted, or even finished) campaign is replayed: its
+    completed work is served at ~0 cost and the search continues from
     the exact batch where the previous process died, producing a result
     byte-identical to an uninterrupted run.  Journaling continues into
-    the same directory.  *batch_callback* receives each batch's
-    :class:`BatchTelemetry` as it completes.
+    the same directory.
+
+    The pre-redesign kwargs (``seed``/``workers``/``cache_dir``/
+    ``journal_dir``/``resume_from``/``batch_callback``) are still
+    accepted and folded into the config with a ``DeprecationWarning``.
     """
-    config = config or CampaignConfig()
-    if workers is not None or cache_dir is not None:
-        from dataclasses import replace
-        config = replace(
-            config,
-            workers=config.workers if workers is None else workers,
-            cache_dir=config.cache_dir if cache_dir is None else cache_dir,
-        )
-    journal_dir = journal_dir or resume_from or config.journal_dir
-    resume = resume_from is not None or config.resume
-    if resume and not journal_dir:
+    config = _apply_legacy_kwargs(config or CampaignConfig(), legacy)
+    journal_dir = config.journal_dir
+    if config.resume and not journal_dir:
         raise CampaignError("resume requested but no journal directory "
                             "given (journal_dir / --journal-dir)")
     if evaluator is None:
         evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
-                              seed=seed)
+                              seed=config.seed)
     if algorithm is None:
         algorithm = DeltaDebugSearch(min_speedup=config.min_speedup)
 
-    oracle = make_oracle(model, config, evaluator=evaluator, seed=seed)
+    oracle = make_oracle(model, config, evaluator=evaluator)
+
+    # Observability: one bus per campaign — the internal metrics
+    # collector first, then the config's subscribers in order.  Worker
+    # processes never see the bus; records returning over the result
+    # pipe are re-emitted by the parent (see repro.core.parallel), so
+    # parallel runs publish the same variant-level events as serial.
+    bus = EventBus()
+    registry = MetricsRegistry()
+    MetricsCollector(registry).attach(bus)
+    for subscriber in config.subscribers:
+        bus.subscribe(subscriber)
+    tracer = Tracer(config.trace_dir, model=model.name,
+                    workers=config.workers, seed=config.seed)
+    oracle.bus = bus
+    oracle.tracer = tracer
 
     # Crash safety: open (or resume) the write-ahead journal, refusing
     # to replay a journal written for a different campaign.
@@ -482,7 +716,7 @@ def run_campaign(
     resumed_from_batch: Optional[int] = None
     if journal_dir:
         header = journal_header(evaluator, model.space, algorithm, config)
-        if resume:
+        if config.resume:
             state = JournalState.load(journal_dir)
             state.validate(header)
             resumed_from_batch = state.completed_batches
@@ -496,46 +730,78 @@ def run_campaign(
                 journal, config.snapshot_every)
     flag = InterruptFlag()
     oracle.interrupt = flag
-    if batch_callback is not None:
-        oracle.batch_callback = batch_callback
 
-    # T0: one-time preprocessing — search-space creation, interprocedural
-    # flow graph, taint reduction.  Charged ~1% of the budget, matching
-    # the artifact appendix's reported share.
-    from ..fortran.callgraph import build_graphs
-    from ..fortran.taint import reduce_program
-
-    build_graphs(model.index)
-    targets = {a.qualified for a in model.atoms}
-    preprocessing_note = ""
-    try:
-        reduce_program(model.index, targets)
-    except ReproError as exc:
-        # Reduction failures must not kill a campaign: the full program
-        # can always be transformed directly in this implementation.  The
-        # failure is surfaced on the result instead of being swallowed.
-        preprocessing_note = (f"taint reduction failed "
-                              f"({type(exc).__name__}: {exc}); "
-                              f"tuning the unreduced program")
-    preprocessing = 0.01 * config.wall_budget_seconds
+    bus.emit(CampaignStarted(
+        model=model.name, algorithm=type(algorithm).__name__,
+        workers=config.workers, nodes=config.nodes,
+        wall_budget_seconds=config.wall_budget_seconds,
+        max_evaluations=config.max_evaluations,
+        resumed_from_batch=resumed_from_batch,
+    ))
 
     try:
-        with _signal_guard(flag, config.handle_signals):
+        with tracer.span("campaign", model=model.name) as campaign_span:
+            # T0: one-time preprocessing — search-space creation,
+            # interprocedural flow graph, taint reduction.  Charged ~1% of
+            # the budget, matching the artifact appendix's reported share.
+            from ..fortran.callgraph import build_graphs
+            from ..fortran.taint import reduce_program
+
+            with tracer.span("preprocess") as pre_span:
+                build_graphs(model.index)
+                targets = {a.qualified for a in model.atoms}
+                preprocessing_note = ""
+                try:
+                    reduce_program(model.index, targets)
+                except ReproError as exc:
+                    # Reduction failures must not kill a campaign: the
+                    # full program can always be transformed directly in
+                    # this implementation.  The failure is surfaced on
+                    # the result instead of being swallowed.
+                    preprocessing_note = (f"taint reduction failed "
+                                          f"({type(exc).__name__}: {exc}); "
+                                          f"tuning the unreduced program")
+                preprocessing = 0.01 * config.wall_budget_seconds
+                pre_span.set_sim(preprocessing)
+            bus.emit(PreprocessingDone(model=model.name,
+                                       sim_seconds=preprocessing,
+                                       note=preprocessing_note))
+
             try:
-                search_result = algorithm.run(model.space, oracle)
+                with _signal_guard(flag, config.handle_signals):
+                    try:
+                        search_result = algorithm.run(model.space, oracle)
+                    finally:
+                        oracle.close()
+                # A signal that landed after the search's last batch did
+                # not truncate anything; only a cut-short search is
+                # "interrupted".
+                interrupted = flag.requested and not search_result.finished
+                if journal is not None:
+                    if interrupted:
+                        journal.mark_interrupted(flag.reason or "signal")
+                    elif search_result.finished:
+                        journal.mark_finished()
             finally:
-                oracle.close()
-        # A signal that landed after the search's last batch did not
-        # truncate anything; only a cut-short search is "interrupted".
-        interrupted = flag.requested and not search_result.finished
-        if journal is not None:
-            if interrupted:
-                journal.mark_interrupted(flag.reason or "signal")
-            elif search_result.finished:
-                journal.mark_finished()
+                if journal is not None:
+                    journal.close()
+                campaign_span.set_sim(oracle.wall_seconds_used
+                                      + preprocessing)
+        bus.emit(CampaignFinished(
+            model=model.name, finished=search_result.finished,
+            interrupted=interrupted, evaluations=oracle.evaluations,
+            batches=len(oracle.telemetry),
+            sim_seconds=oracle.wall_seconds_used + preprocessing,
+        ))
     finally:
-        if journal is not None:
-            journal.close()
+        # The trace artifacts must survive any exit — including a
+        # subscriber aborting the campaign mid-search (that is the
+        # crash-forensics case they exist for).
+        if config.trace_dir:
+            Path(config.trace_dir).mkdir(parents=True, exist_ok=True)
+            (Path(config.trace_dir) / "metrics.prom").write_text(
+                registry.render_prometheus())
+        tracer.close()
     return CampaignResult(
         model_name=model.name,
         search=search_result,
@@ -546,6 +812,8 @@ def run_campaign(
         interrupted=interrupted,
         resumed_from_batch=resumed_from_batch,
         journal_dir=journal_dir,
+        metrics=registry,
+        trace_dir=config.trace_dir,
     )
 
 

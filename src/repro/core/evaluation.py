@@ -34,7 +34,14 @@ from .assignment import PrecisionAssignment
 from .classification import Outcome
 from .metrics import speedup_eq1
 
-__all__ = ["ProcPerf", "VariantRecord", "Evaluator", "evaluation_context"]
+__all__ = ["STAGES", "ProcPerf", "VariantRecord", "Evaluator",
+           "evaluation_context"]
+
+#: The per-variant pipeline stages charged against the simulated
+#: budget, in the paper's T1→T3 order.  ``Evaluator.stage_timings``
+#: decomposes a record's simulated cost over exactly these names; the
+#: observability layer (events, spans, ``repro trace``) reports them.
+STAGES = ("transform", "compile", "run")
 
 # Hard interpreter cap relative to baseline op count; catches divergent
 # iterative kernels that the wall-clock timeout would kill on Derecho.
@@ -173,6 +180,29 @@ class Evaluator:
         runtime = self.model.nominal_runtime_seconds * min(
             max(relative_runtime, 0.05), self.timeout_factor)
         return self.model.compile_seconds + self.n_runs * runtime
+
+    def stage_timings(self, record: "VariantRecord"
+                      ) -> tuple[tuple[str, float], ...]:
+        """Decompose a record's simulated cost over :data:`STAGES`.
+
+        The per-variant rebuild charge (``ModelCase.compile_seconds``)
+        covers the T1 source transformation and the T2 compile;
+        ``ModelCase.transform_seconds`` names the transformation's
+        share, and everything beyond the rebuild is T3 run time.  The
+        parts sum exactly to ``record.eval_wall_seconds``, which is
+        what lets per-batch stage charges reconcile with the campaign's
+        budget ledger.  Records that cost nothing (cache hits, journal
+        replays) decompose to the empty tuple.
+        """
+        total = record.eval_wall_seconds
+        if total <= 0:
+            return ()
+        rebuild = min(self.model.compile_seconds, total)
+        transform = min(getattr(self.model, "transform_seconds", 0.0),
+                        rebuild)
+        return (("transform", transform),
+                ("compile", rebuild - transform),
+                ("run", total - rebuild))
 
     # ------------------------------------------------------------------
 

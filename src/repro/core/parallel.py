@@ -30,6 +30,14 @@ classification an on-node failure would have received on Derecho.  The
 worker pool is torn down on *every* exception path out of a batch
 (including ``KeyboardInterrupt``), so no worker processes are ever
 leaked.
+
+Observability: workers hold no event bus — the :class:`VariantRecord`
+returning over the result pipe *is* the forwarded event payload.  The
+parent re-emits :class:`~repro.obs.events.VariantEvaluated` in plan
+(batch) order once the batch resolves, with the same deterministic
+fields a serial oracle would publish, so serial and parallel runs of
+one seed produce identical variant-level event multisets; worker
+retry/backoff/failure additionally surface as their own events.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.events import WorkerBackoff, WorkerFailure, WorkerRetry
 from ..perf.machine import MachineModel
 from ..perf.noise import NoiseModel
 from .assignment import PrecisionAssignment
@@ -142,12 +151,12 @@ class ParallelOracle(BudgetedOracle):
         config: CampaignConfig,
         evaluator: Optional[Evaluator] = None,
         cache: Optional[ResultCache] = None,
-        seed: int = 2024,
+        seed: Optional[int] = None,
         fault: Optional[tuple[str, str]] = None,
     ) -> "ParallelOracle":
         if evaluator is None:
             evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
-                                  seed=seed)
+                                  seed=config.seed if seed is None else seed)
         name, kwargs = model.model_spec()
         spec = WorkerSpec(
             model_name=name,
@@ -207,21 +216,22 @@ class ParallelOracle(BudgetedOracle):
         # and reserve variant ids for misses *before* dispatch, so ids
         # (and therefore noise draws) are independent of completion
         # order and worker count.
-        plan: list[tuple[str, object]] = []   # ("rec", record) | ("task", i)
+        # ("rec", record, source) | ("task", i, None)
+        plan: list[tuple[str, object, Optional[str]]] = []
         tasks: list[tuple[PrecisionAssignment, int]] = []
         task_by_key: dict[tuple[int, ...], int] = {}
         for assignment in assignments:
             record = self.evaluator.lookup(assignment)
             if record is not None:
                 stats.cache_hits += 1
-                plan.append(("rec", record))
+                plan.append(("rec", record, "memory"))
                 continue
             key = assignment.key()
             if key in task_by_key:
                 # Duplicate within the batch: one evaluation, both rows.
                 # Serial execution would serve the repeat from cache.
                 stats.cache_hits += 1
-                plan.append(("task", task_by_key[key]))
+                plan.append(("task", task_by_key[key], None))
                 continue
             vid = self.evaluator.reserve_id()
             record, source = self._external_record(key, vid)
@@ -232,11 +242,11 @@ class ParallelOracle(BudgetedOracle):
                 else:
                     stats.disk_hits += 1
                 self.evaluator.admit(record)
-                plan.append(("rec", record))
+                plan.append(("rec", record, source))
                 continue
             task_by_key[key] = len(tasks)
             tasks.append((assignment, vid))
-            plan.append(("task", len(tasks) - 1))
+            plan.append(("task", len(tasks) - 1, None))
         stats.dispatched = len(tasks)
 
         # The pool must never outlive an exception here — in particular
@@ -261,19 +271,40 @@ class ParallelOracle(BudgetedOracle):
             if self.journal is not None:
                 self.journal.variant(batch_index, record)
 
+        # Resolve the plan in batch order, re-emitting each record's
+        # resolution on the parent's bus exactly as a serial oracle
+        # would: first task occurrences are "fresh" (or the synthesized
+        # "worker-failure"), repeats and pre-resolved rows are hits.
         records, hit_flags = [], []
         emitted: set[int] = set()
-        for kind, payload in plan:
+        for kind, payload, source in plan:
             if kind == "rec":
                 records.append(payload)
                 hit_flags.append(True)
+                self._emit_variant(batch_index, payload, source)
             else:
                 _, vid = tasks[payload]
-                records.append(results[vid])
+                record = results[vid]
+                records.append(record)
                 # The first occurrence of a task is the miss that paid
                 # for the evaluation; repeats within the batch are hits.
-                hit_flags.append(payload in emitted)
-                emitted.add(payload)
+                if payload in emitted:
+                    hit_flags.append(True)
+                    self._emit_variant(batch_index, record, "memory")
+                else:
+                    hit_flags.append(False)
+                    emitted.add(payload)
+                    source = ("worker-failure" if vid in synthesized
+                              else "fresh")
+                    # Per-variant wall time never crosses the pipe (the
+                    # record carries only simulated cost), so worker
+                    # variants trace with unknown wall.
+                    self.tracer.emit_span(
+                        "variant", wall_seconds=None,
+                        sim_seconds=record.eval_wall_seconds,
+                        attrs={"id": record.variant_id,
+                               "outcome": record.outcome.name})
+                    self._emit_variant(batch_index, record, source)
         return records, hit_flags, stats
 
     def _run_tasks(self, tasks, stats: _BatchStats
@@ -307,6 +338,9 @@ class ParallelOracle(BudgetedOracle):
                     self.config.retry_backoff_seconds * 2 ** (retry_round - 1),
                     self.config.retry_backoff_max_seconds)
                 stats.backoff_seconds += delay
+                self.bus.emit(WorkerBackoff(
+                    batch_index=len(self.telemetry),
+                    retry_round=retry_round, seconds=delay))
                 time.sleep(delay)
             pool = self._ensure_pool()
             futures = [(a, vid, attempts,
@@ -362,10 +396,16 @@ class ParallelOracle(BudgetedOracle):
         attempts += 1
         if attempts < max_attempts:
             stats.retries += 1
+            self.bus.emit(WorkerRetry(
+                batch_index=len(self.telemetry), variant_id=vid,
+                attempt=attempts, reason=reason))
             pending.append((assignment, vid, attempts))
             return
         stats.failures += 1
         synthesized.add(vid)
+        self.bus.emit(WorkerFailure(
+            batch_index=len(self.telemetry), variant_id=vid,
+            outcome=outcome.name, reason=reason))
         results[vid] = self.evaluator.failure_record(
             assignment, vid, outcome,
             note=f"{reason} ({attempts} attempts)")

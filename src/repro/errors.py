@@ -104,6 +104,15 @@ class CampaignError(ReproError):
     """The campaign orchestrator was misconfigured."""
 
 
+class TraceError(CampaignError):
+    """A span-trace directory is missing, empty, or unreadable.
+
+    Raised by the trace summarizer (``repro trace``) when the named
+    directory holds no ``trace.jsonl`` — observability artifacts are
+    advisory, so corruption *within* a trace file is tolerated line by
+    line, but a wholly absent trace is operator error."""
+
+
 class JournalError(CampaignError):
     """The campaign journal is missing, corrupt, or belongs to a
     different experiment.

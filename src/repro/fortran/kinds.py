@@ -24,6 +24,22 @@ _KIND_PRESERVING = {
     "tanh", "exp", "log", "log10", "sqrt", "abs", "sign", "mod", "merge",
     "sum", "product", "maxval", "minval", "epsilon", "huge", "tiny",
 }
+# Transcendental subset: conforming Fortran rejects integer arguments,
+# but the NumPy-backed interpreter promotes them to float64 (np.sin(3)
+# is a float64) — so with no real argument these infer kind 8, unlike
+# abs/mod/sum etc., whose integer results stay integer in both worlds.
+_TRANSCENDENTAL = {
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh",
+    "tanh", "exp", "log", "log10", "sqrt",
+}
+
+#: Internal marker: an integer-valued expression that the interpreter
+#: materializes as a *NumPy* integer scalar (an intrinsic result, e.g.
+#: ``abs(3)`` -> np.int64) rather than a weak Python int (a literal or
+#: literal arithmetic).  The distinction matters because NumPy's
+#: promotion is not Fortran's: ``np.float32 + np.int64`` is float64,
+#: while ``np.float32 + 3`` stays float32.  Never escapes infer_kind.
+_STRONG_INT = -1
 _KIND_PROMOTING = {"min", "max", "dot_product"}
 _INTEGER_RESULT = {"int", "nint", "floor", "ceiling", "size", "lbound",
                    "ubound", "maxloc"}
@@ -62,6 +78,12 @@ def infer_kind(expr: F.Expr, index: ProgramIndex, scope: str,
                         ".eqv.", ".neqv."):
                 return None
             kl, kr = rec(e.left), rec(e.right)
+            if _STRONG_INT in (kl, kr):
+                if kl in (None, _STRONG_INT) and kr in (None, _STRONG_INT):
+                    return _STRONG_INT
+                # A NumPy integer scalar mixed with a real of any kind
+                # promotes to float64 under NumPy's rules.
+                return KIND_DOUBLE
             if kl is None:
                 return kr
             if kr is None:
@@ -71,8 +93,11 @@ def infer_kind(expr: F.Expr, index: ProgramIndex, scope: str,
             return None
         if isinstance(e, F.ArrayCons):
             kinds = [rec(i) for i in e.items]
-            reals = [k for k in kinds if k is not None]
-            return max(reals) if reals else None
+            reals = [k for k in kinds if k not in (None, _STRONG_INT)]
+            if reals:
+                return (KIND_DOUBLE if _STRONG_INT in kinds
+                        else max(reals))
+            return _STRONG_INT if _STRONG_INT in kinds else None
         if isinstance(e, F.KeywordArg):
             return rec(e.value)
         if isinstance(e, F.ComponentRef):
@@ -116,22 +141,30 @@ def infer_kind(expr: F.Expr, index: ProgramIndex, scope: str,
             if e.name in _KIND_PRESERVING:
                 for a in e.args:
                     k = rec(a)
-                    if k is not None:
+                    if k not in (None, _STRONG_INT):
                         return k
-                return None
+                if e.name in _TRANSCENDENTAL:
+                    return KIND_DOUBLE
+                # Integer-preserving intrinsics (abs, mod, sum, ...)
+                # yield a NumPy integer scalar for integer arguments.
+                return _STRONG_INT
             if e.name in _KIND_PROMOTING:
                 kinds = [rec(a) for a in e.args]
-                reals = [k for k in kinds if k is not None]
-                return max(reals) if reals else None
+                reals = [k for k in kinds if k not in (None, _STRONG_INT)]
+                if reals:
+                    return (KIND_DOUBLE if _STRONG_INT in kinds
+                            else max(reals))
+                return _STRONG_INT if _STRONG_INT in kinds else None
             if e.name in INTRINSICS:
                 for a in e.args:
                     k = rec(a)
-                    if k is not None:
+                    if k not in (None, _STRONG_INT):
                         return k
             return None
         return None
 
-    return rec(expr)
+    kind = rec(expr)
+    return None if kind == _STRONG_INT else kind
 
 
 def _component_kind(e: F.ComponentRef, index: ProgramIndex,

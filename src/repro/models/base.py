@@ -74,6 +74,10 @@ class ModelCase:
     # -- campaign accounting (simulated wall clock) -------------------------
     nominal_runtime_seconds: float = 90.0   # the paper's reported run time
     compile_seconds: float = 240.0          # per-variant rebuild cost
+    #: The T1 source-transformation share of the per-variant rebuild
+    #: (``compile_seconds`` covers transform + compile; this names the
+    #: split so stage accounting can report them separately).
+    transform_seconds: float = 30.0
     mpi_ranks: int = 64
 
     # ------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""repro.obs: structured observability for tuning campaigns.
+
+The FPPT cycle is a long-running dynamic search — hundreds of
+transform→compile→run evaluations over hours of simulated node time —
+and this package makes it watchable, measurable, and auditable:
+
+* :mod:`~repro.obs.bus` — a deterministic in-process event bus the
+  whole evaluation stack emits typed lifecycle events onto;
+* :mod:`~repro.obs.events` — the event vocabulary (campaign / batch /
+  variant lifecycle, per-variant pipeline stages, cache and journal
+  provenance, worker retry/backoff);
+* :mod:`~repro.obs.tracing` — nested span tracing with wall *and*
+  simulated durations, flushed crash-safe as JSON lines;
+* :mod:`~repro.obs.metrics` + :mod:`~repro.obs.collectors` — a
+  Prometheus-style metrics registry fed from the bus;
+* :mod:`~repro.obs.console` — a live terminal renderer (per-batch
+  progress, budget ETA, current search frontier);
+* :mod:`~repro.obs.summary` — the ``repro trace`` per-stage time
+  breakdown.
+"""
+
+from .bus import EventBus, Subscriber, subscribes_to
+from .collectors import MetricsCollector
+from .console import ConsoleRenderer
+from .events import (BatchCompleted, BatchStarted, CampaignFinished,
+                     CampaignStarted, PreprocessingDone, VariantEvaluated,
+                     WorkerBackoff, WorkerFailure, WorkerRetry)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      render_prometheus)
+from .summary import StageTotals, TraceSummary, summarize_trace
+from .tracing import TRACE_FILE, Span, Tracer, load_trace
+
+__all__ = [
+    "EventBus", "Subscriber", "subscribes_to",
+    "MetricsCollector", "ConsoleRenderer",
+    "BatchCompleted", "BatchStarted", "CampaignFinished", "CampaignStarted",
+    "PreprocessingDone", "VariantEvaluated", "WorkerBackoff",
+    "WorkerFailure", "WorkerRetry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_prometheus",
+    "StageTotals", "TraceSummary", "summarize_trace",
+    "TRACE_FILE", "Span", "Tracer", "load_trace",
+]

@@ -1,0 +1,101 @@
+"""Bus → metrics bridge: the standard campaign instrument set.
+
+One :class:`MetricsCollector` subscribed to the campaign bus maintains
+the registry every campaign exports (Prometheus text file under the
+trace directory, ``CampaignResult.metrics``):
+
+* ``repro_evaluations_total{outcome=...}`` — variants by outcome class,
+  counting every resolved variant exactly once (hits included), so the
+  counter is identical across worker counts, cache states, and resumes;
+* ``repro_variant_results_total{source=...}`` — where records came from
+  (fresh / memory / disk / replay / worker-failure): the cache-hit-rate
+  numerator and denominator;
+* ``repro_sim_seconds_total{stage=...}`` — simulated node-seconds
+  charged per pipeline stage (preprocess / transform / compile / run);
+* ``repro_worker_retries_total`` / ``repro_worker_failures_total`` /
+  ``repro_backoff_seconds_total`` — fault-tolerance activity;
+* ``repro_batches_total``, ``repro_batch_sim_seconds`` (histogram),
+  ``repro_queue_depth`` (dispatched in the latest batch),
+  ``repro_wall_seconds_total`` — batch pipeline shape;
+* ``repro_campaign_finished`` / ``repro_campaign_interrupted`` gauges.
+"""
+
+from __future__ import annotations
+
+from .bus import EventBus
+from .events import (BatchCompleted, CampaignFinished, PreprocessingDone,
+                     VariantEvaluated, WorkerBackoff, WorkerFailure,
+                     WorkerRetry)
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Subscriber that folds campaign events into a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def attach(self, bus: EventBus) -> None:
+        bus.subscribe(self, (VariantEvaluated, BatchCompleted,
+                             PreprocessingDone, WorkerRetry, WorkerBackoff,
+                             WorkerFailure, CampaignFinished))
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, event: object) -> None:
+        reg = self.registry
+        if isinstance(event, VariantEvaluated):
+            reg.counter("repro_evaluations_total",
+                        "variants resolved, by outcome class",
+                        outcome=event.outcome).inc()
+            reg.counter("repro_variant_results_total",
+                        "variant records by provenance",
+                        source=event.source).inc()
+            for stage, seconds in event.stages:
+                reg.counter("repro_sim_seconds_total",
+                            "simulated node-seconds by pipeline stage",
+                            stage=stage).inc(seconds)
+            if event.sim_seconds > 0:
+                reg.histogram("repro_variant_sim_seconds",
+                              "simulated cost of fresh evaluations"
+                              ).observe(event.sim_seconds)
+        elif isinstance(event, BatchCompleted):
+            bt = event.telemetry
+            reg.counter("repro_batches_total", "batches committed").inc()
+            reg.counter("repro_worker_retries_total",
+                        "worker attempts repeated after crash/hang"
+                        ).inc(bt.retries)
+            reg.counter("repro_worker_failures_total",
+                        "variants downgraded after retry exhaustion"
+                        ).inc(bt.failures)
+            reg.counter("repro_backoff_seconds_total",
+                        "real seconds slept between retry rounds"
+                        ).inc(bt.backoff_seconds)
+            reg.counter("repro_wall_seconds_total",
+                        "real seconds spent evaluating batches"
+                        ).inc(bt.wall_seconds)
+            reg.gauge("repro_queue_depth",
+                      "cache misses dispatched in the latest batch"
+                      ).set(bt.dispatched)
+            reg.histogram("repro_batch_sim_seconds",
+                          "simulated node-seconds charged per batch"
+                          ).observe(bt.sim_seconds)
+        elif isinstance(event, PreprocessingDone):
+            reg.counter("repro_sim_seconds_total",
+                        "simulated node-seconds by pipeline stage",
+                        stage="preprocess").inc(event.sim_seconds)
+        elif isinstance(event, WorkerRetry):
+            pass  # aggregated via BatchCompleted.telemetry.retries
+        elif isinstance(event, WorkerBackoff):
+            pass  # aggregated via BatchCompleted.telemetry.backoff_seconds
+        elif isinstance(event, WorkerFailure):
+            pass  # aggregated via BatchCompleted.telemetry.failures
+        elif isinstance(event, CampaignFinished):
+            reg.gauge("repro_campaign_finished",
+                      "1 when the search ran to completion"
+                      ).set(1.0 if event.finished else 0.0)
+            reg.gauge("repro_campaign_interrupted",
+                      "1 when the campaign stopped on SIGINT/SIGTERM"
+                      ).set(1.0 if event.interrupted else 0.0)

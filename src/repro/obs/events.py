@@ -1,0 +1,139 @@
+"""Typed campaign lifecycle events.
+
+Every event is a frozen dataclass carrying only **deterministic**
+payloads: variant ids, outcome names, simulated node-seconds, batch
+indexes.  Real wall-clock measurements deliberately live in the span
+trace (:mod:`repro.obs.tracing`), not here — the variant-level event
+multiset is identical across serial, parallel, cached, and resumed
+executions of the same campaign, which makes events safe to assert on
+in determinism tests and safe to aggregate into reproducible metrics.
+
+Parallel execution note: worker processes do not hold a bus.  The
+:class:`~repro.core.evaluation.VariantRecord` that travels back over
+the existing result pipe *is* the forwarded event payload — the parent
+synthesizes the same :class:`VariantEvaluated` event a serial campaign
+would have emitted, from the same record bytes.  Retry/backoff events
+are parent-side by nature (the parent owns the retry loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CampaignStarted", "PreprocessingDone", "BatchStarted",
+    "BatchCompleted", "VariantEvaluated", "WorkerRetry", "WorkerBackoff",
+    "WorkerFailure", "CampaignFinished",
+]
+
+
+@dataclass(frozen=True)
+class CampaignStarted:
+    """A campaign began (before T0 preprocessing)."""
+
+    model: str
+    algorithm: str
+    workers: int
+    nodes: int
+    wall_budget_seconds: float
+    max_evaluations: int
+    resumed_from_batch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PreprocessingDone:
+    """T0 finished: flow graphs built, taint reduction attempted."""
+
+    model: str
+    sim_seconds: float
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class BatchStarted:
+    """A batch of assignments passed the budget gate and is about to be
+    resolved (cache lookups, journal replay, dispatch)."""
+
+    batch_index: int
+    size: int
+
+
+@dataclass(frozen=True)
+class BatchCompleted:
+    """A batch committed.  ``telemetry`` is the campaign's
+    :class:`~repro.core.campaign.BatchTelemetry` record (duck-typed here
+    to keep :mod:`repro.obs` import-free of :mod:`repro.core`); the same
+    object is also emitted *unchanged* on the bus for subscribers that
+    predate this event type."""
+
+    telemetry: object
+
+
+@dataclass(frozen=True)
+class VariantEvaluated:
+    """One assignment resolved to a record — the variant-level event.
+
+    ``source`` states where the record came from: ``"fresh"`` (a real
+    transform/compile/run evaluation), ``"memory"`` (the evaluator's
+    in-memory cache), ``"disk"`` (the persistent result cache),
+    ``"replay"`` (the crash-recovery journal), or ``"worker-failure"``
+    (synthesized after irrecoverable worker infrastructure failure).
+    ``stages`` decomposes the simulated cost of a fresh evaluation into
+    the paper's pipeline stages (transform/compile/run); hits carry an
+    empty tuple and ``sim_seconds == 0.0``.
+    """
+
+    batch_index: int
+    variant_id: int
+    outcome: str
+    source: str
+    sim_seconds: float
+    stages: tuple[tuple[str, float], ...] = ()
+    speedup: Optional[float] = None
+    fraction_lowered: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkerRetry:
+    """A transient worker failure scheduled the variant for another
+    attempt (parallel execution only)."""
+
+    batch_index: int
+    variant_id: int
+    attempt: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class WorkerBackoff:
+    """The parent slept between retry rounds (deterministic, jitterless
+    exponential backoff)."""
+
+    batch_index: int
+    retry_round: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Retries exhausted: the variant was downgraded to a synthesized
+    failure outcome (never cached, never journaled)."""
+
+    batch_index: int
+    variant_id: int
+    outcome: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class CampaignFinished:
+    """The campaign returned (finished, budget-exhausted, or
+    interrupted)."""
+
+    model: str
+    finished: bool
+    interrupted: bool
+    evaluations: int
+    batches: int
+    sim_seconds: float

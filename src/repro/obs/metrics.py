@@ -1,0 +1,184 @@
+"""Campaign metrics registry: counters, gauges, histograms.
+
+A deliberately small, dependency-free metrics surface in the Prometheus
+idiom: named instruments with label sets, a text exposition renderer
+(written to ``<trace_dir>/metrics.prom`` at campaign end), and a
+deterministic :meth:`MetricsRegistry.snapshot` dict for tests and for
+embedding in result payloads.
+
+Instrument identity is ``(name, sorted labels)``; re-requesting an
+instrument returns the existing one, so emitters never coordinate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "render_prometheus"]
+
+#: Default histogram buckets, sized for simulated node-seconds per
+#: batch/variant (seconds; +Inf is implicit).
+DEFAULT_BUCKETS = (1.0, 10.0, 60.0, 300.0, 900.0, 3600.0, 14400.0)
+
+
+def _label_key(labels: dict[str, str]) -> str:
+    """Canonical, deterministic label rendering: ``a="x",b="y"``."""
+    return ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, seconds spent)."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value (queue depth, budget remaining)."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution (per-batch sim-seconds, variant costs)."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)  # + Inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """Prometheus-style cumulative ``le`` buckets."""
+        out, running = [], 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((f"{bound:g}", running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store for one campaign."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, str], object] = {}
+        self._help: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: dict[str, str],
+             help: str, **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name=name, labels=dict(labels), **kwargs)
+            self._instruments[key] = instrument
+            if help:
+                self._help.setdefault(name, help)
+        elif not isinstance(instrument, cls):
+            raise TypeError(f"metric {name} already registered as "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(Counter, name, labels, help)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[tuple[float, ...]] = None,
+                  **labels: str) -> Histogram:
+        kwargs = {"buckets": buckets} if buckets else {}
+        return self._get(Histogram, name, labels, help, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered name → {labels → value} mapping.
+
+        Histograms snapshot as ``{"count": n, "sum": s}``.  Ordering is
+        by (name, label key), so two registries fed the same instrument
+        updates serialize identically.
+        """
+        out: dict[str, dict[str, object]] = {}
+        for (name, label_key) in sorted(self._instruments):
+            instrument = self._instruments[(name, label_key)]
+            cell = out.setdefault(name, {})
+            if isinstance(instrument, Histogram):
+                cell[label_key] = {"count": instrument.count,
+                                   "sum": instrument.sum}
+            else:
+                cell[label_key] = instrument.value
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition format (v0.0.4 subset)."""
+    lines: list[str] = []
+    seen_names: set[str] = set()
+    for (name, label_key) in sorted(registry._instruments):
+        instrument = registry._instruments[(name, label_key)]
+        if name not in seen_names:
+            seen_names.add(name)
+            help_text = registry._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            kind = {Counter: "counter", Gauge: "gauge",
+                    Histogram: "histogram"}[type(instrument)]
+            lines.append(f"# TYPE {name} {kind}")
+        suffix = f"{{{label_key}}}" if label_key else ""
+        if isinstance(instrument, Histogram):
+            for le, cumulative in instrument.cumulative():
+                sep = "," if label_key else ""
+                lines.append(f'{name}_bucket{{{label_key}{sep}le="{le}"}} '
+                             f"{cumulative}")
+            lines.append(f"{name}_sum{suffix} {instrument.sum:g}")
+            lines.append(f"{name}_count{suffix} {instrument.count}")
+        else:
+            lines.append(f"{name}{suffix} {instrument.value:g}")
+    return "\n".join(lines) + "\n"

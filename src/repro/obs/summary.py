@@ -1,0 +1,91 @@
+"""Trace summarization: "where did the 12 hours go".
+
+Reads a ``--trace-dir`` written by a campaign and aggregates its spans
+into a per-stage time breakdown — the observability payoff the paper's
+operators never had: how much of the simulated allocation went to
+source transformation, compilation, and execution (plus the one-time T0
+preprocessing), with real wall-clock spent alongside.
+
+The stage charges in the trace decompose each batch's wave-max node
+charge exactly (see ``BudgetedOracle.evaluate_batch``), so
+``TraceSummary.stage_sim_total`` matches the campaign's reported
+simulated spend to within floating-point — the ``repro trace`` CLI
+prints the delta so drift would be visible immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .tracing import load_trace
+
+__all__ = ["StageTotals", "TraceSummary", "summarize_trace"]
+
+#: Stage-span names charged against the simulated budget, in pipeline
+#: order (T0 then the per-variant T1→T3 stages).
+SUMMARY_STAGES = ("preprocess", "transform", "compile", "run")
+
+
+@dataclass
+class StageTotals:
+    """Aggregate for one pipeline stage across the whole trace."""
+
+    stage: str
+    spans: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` reports for one trace directory."""
+
+    trace_dir: str
+    sessions: int = 0
+    batches: int = 0
+    variants: int = 0
+    stages: dict[str, StageTotals] = field(default_factory=dict)
+    #: Sum of the campaign spans' simulated charges — what the campaign
+    #: itself reported spending (wall budget ledger + preprocessing).
+    campaign_sim_seconds: float = 0.0
+    campaign_wall_seconds: float = 0.0
+
+    @property
+    def stage_sim_total(self) -> float:
+        return sum(s.sim_seconds for s in self.stages.values())
+
+    def mismatch_pct(self) -> float:
+        """Relative gap between the stage totals and the campaign's own
+        accounting, in percent (0.0 for a healthy trace)."""
+        if self.campaign_sim_seconds == 0:
+            return 0.0
+        return 100.0 * abs(self.stage_sim_total - self.campaign_sim_seconds) \
+            / self.campaign_sim_seconds
+
+
+def summarize_trace(trace_dir: str | Path) -> TraceSummary:
+    """Aggregate every session in *trace_dir* into one summary."""
+    summary = TraceSummary(trace_dir=str(trace_dir))
+    for name in SUMMARY_STAGES:
+        summary.stages[name] = StageTotals(stage=name)
+    for entry in load_trace(trace_dir):
+        if entry["type"] == "header":
+            summary.sessions += 1
+            continue
+        name = entry.get("name", "")
+        sim = entry.get("sim_seconds") or 0.0
+        wall = entry.get("wall_seconds") or 0.0
+        if name in summary.stages:
+            totals = summary.stages[name]
+            totals.spans += 1
+            totals.sim_seconds += sim
+            totals.wall_seconds += wall
+        elif name == "batch":
+            summary.batches += 1
+        elif name == "variant":
+            summary.variants += 1
+        elif name == "campaign":
+            summary.campaign_sim_seconds += sim
+            summary.campaign_wall_seconds += wall
+    return summary

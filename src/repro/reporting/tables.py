@@ -14,11 +14,12 @@ from typing import Optional
 from ..core.campaign import CampaignSummary
 from ..models.base import ModelCase
 from ..models.registry import paper_table1_rows
+from ..obs.summary import SUMMARY_STAGES, TraceSummary
 from ..perf.machine import DERECHO, MachineModel
 from ..perf.timers import time_execution
 
 __all__ = ["Table1Row", "table1", "render_table1", "table2_rows",
-           "render_table2", "PAPER_TABLE2"]
+           "render_table2", "render_trace_summary", "PAPER_TABLE2"]
 
 
 @dataclass(frozen=True)
@@ -118,4 +119,41 @@ def render_table2(summaries: list[CampaignSummary]) -> str:
         if not s.finished:
             lines.append(f"{'':10s} (search did not finish within the "
                          "wall-clock budget)")
+    return "\n".join(lines)
+
+
+def render_trace_summary(summary: TraceSummary) -> str:
+    """The ``repro trace`` table: where the campaign's time went.
+
+    One row per pipeline stage (T0 preprocess, then the per-variant
+    transform/compile/run), with both clocks: simulated node-seconds
+    (where the Derecho allocation went) and real wall seconds (where
+    this process spent its time).  The footer reconciles the stage
+    totals against the campaign's own budget accounting.
+    """
+    total_sim = summary.stage_sim_total
+    lines = [
+        f"Trace summary: {summary.trace_dir}",
+        f"{summary.sessions} session(s), {summary.batches} batches, "
+        f"{summary.variants} fresh variant evaluations",
+        "",
+        f"{'Stage':12s} {'Spans':>8s} {'Sim seconds':>14s} {'Share':>8s} "
+        f"{'Wall seconds':>14s}",
+        "-" * 60,
+    ]
+    for name in SUMMARY_STAGES:
+        totals = summary.stages.get(name)
+        if totals is None:
+            continue
+        share = (100.0 * totals.sim_seconds / total_sim) if total_sim else 0.0
+        lines.append(f"{name:12s} {totals.spans:>8d} "
+                     f"{totals.sim_seconds:>14.1f} {share:>7.1f}% "
+                     f"{totals.wall_seconds:>14.2f}")
+    lines.append("-" * 60)
+    lines.append(f"{'total':12s} {'':>8s} {total_sim:>14.1f} {'':>8s}")
+    if summary.campaign_sim_seconds:
+        lines.append(
+            f"campaign accounting: {summary.campaign_sim_seconds:.1f} sim "
+            f"seconds ({summary.campaign_wall_seconds:.2f}s wall); "
+            f"stage totals within {summary.mismatch_pct():.3f}%")
     return "\n".join(lines)

@@ -13,6 +13,12 @@ def run_cli(capsys, *argv):
     return code, out
 
 
+def run_cli_both(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -91,3 +97,64 @@ class TestCommands:
                             "--max-evals", "10")
         assert code == 0
         assert "best speedup" in out
+
+
+class TestObservability:
+    """The PR-3 surface: tune --json/--trace-dir/--progress and the
+    trace subcommand."""
+
+    def test_tune_json_splits_machine_from_human(self, capsys):
+        code, out, err = run_cli_both(capsys, "tune", "funarc",
+                                      "--max-evals", "40", "--json")
+        assert code == 0
+        # stdout is exactly one JSON document...
+        payload = json.loads(out)
+        assert {"search", "metrics", "execution"} <= payload.keys()
+        assert payload["execution"]["batches"]
+        assert payload["metrics"]["evaluations"] > 0
+        # ...and the human report moved to stderr, intact.
+        assert "best speedup" in err and "best speedup" not in out
+
+    def test_tune_trace_then_trace_summary(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        code, _out = run_cli(capsys, "tune", "funarc",
+                             "--max-evals", "60", "--trace-dir", trace_dir)
+        assert code == 0
+
+        code, out = run_cli(capsys, "trace", trace_dir)
+        assert code == 0
+        for stage in ("preprocess", "transform", "compile", "run"):
+            assert stage in out
+        # The reconciliation footer proves the stage totals match the
+        # campaign's own budget accounting (acceptance bound: 1%).
+        assert "stage totals within" in out
+
+    def test_trace_of_missing_dir_is_operator_feedback(self, capsys,
+                                                       tmp_path):
+        code, out, err = run_cli_both(capsys, "trace",
+                                      str(tmp_path / "absent"))
+        assert code == 2
+        assert "TraceError" in err and "no span trace" in err
+
+    def test_tune_progress_renders_on_stderr(self, capsys):
+        code, out, err = run_cli_both(capsys, "tune", "funarc",
+                                      "--max-evals", "40", "--progress")
+        assert code == 0
+        assert "batch" in err
+
+    def test_batch_log_is_deprecated_alias(self, capsys):
+        code, out, err = run_cli_both(capsys, "tune", "funarc",
+                                      "--max-evals", "40", "--batch-log")
+        assert code == 0
+        assert "--batch-log is deprecated" in err
+        assert "batch" in err
+
+    def test_workers_flag_shared_by_assess_and_tune(self):
+        parser = build_parser()
+        tune = parser.parse_args(["tune", "funarc", "--workers", "2"])
+        assess = parser.parse_args(["assess", "funarc", "--workers", "2"])
+        assert tune.workers == assess.workers == 2
+
+    def test_tune_resume_requires_journal_dir(self, capsys):
+        with pytest.raises(SystemExit, match="--journal-dir"):
+            run_cli(capsys, "tune", "funarc", "--resume")

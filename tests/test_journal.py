@@ -7,6 +7,12 @@ continues from the exact batch where the dead process stopped, and
 produces a ``CampaignResult.to_json()`` byte-identical to an
 uninterrupted run.  A journal written for a different campaign
 (model spec, algorithm, trajectory-relevant config) is refused.
+
+This suite uses the config-first API throughout: journal placement is
+``CampaignConfig.journal_dir``/``resume``, and crash injection rides
+the event bus as a ``BatchTelemetry`` subscriber.  Coverage of the
+deprecated ``journal_dir=``/``resume_from=``/``batch_callback=``
+kwargs lives in tests/test_campaign_api.py.
 """
 
 from __future__ import annotations
@@ -17,11 +23,12 @@ import signal
 
 import pytest
 
-from repro.core import (CampaignConfig, DeltaDebugSearch, Outcome,
-                        ParallelOracle, RandomSearch, run_campaign)
+from repro.core import (BatchTelemetry, CampaignConfig, DeltaDebugSearch,
+                        Outcome, ParallelOracle, RandomSearch, run_campaign)
 from repro.core.journal import CampaignJournal, JournalState, journal_header
 from repro.errors import CampaignError, JournalError
 from repro.models import FunarcCase, MpasCase
+from repro.obs import subscribes_to
 
 
 def _funarc():
@@ -45,13 +52,19 @@ class Boom(Exception):
 
 
 def _kill_after(k: int):
-    """Batch callback that dies once batch *k* has been committed."""
+    """Bus subscriber that dies once batch *k* has been committed."""
 
-    def callback(bt):
+    @subscribes_to(BatchTelemetry)
+    def subscriber(bt):
         if bt.batch_index >= k:
             raise Boom(f"killed after batch {k}")
 
-    return callback
+    return subscriber
+
+
+def _on_batch(fn):
+    """Wrap *fn* as a ``BatchTelemetry``-only bus subscriber."""
+    return subscribes_to(BatchTelemetry)(fn)
 
 
 def _assert_resumed(resumed, baseline, k: int) -> None:
@@ -87,21 +100,23 @@ class TestKillAndResume:
     def test_funarc_serial(self, funarc_baseline, tmp_path, k):
         journal_dir = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(), journal_dir=journal_dir,
-                         batch_callback=_kill_after(k))
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=journal_dir)
+            run_campaign(_funarc(),
+                         _config(journal_dir=journal_dir,
+                                 subscribers=(_kill_after(k),)))
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=journal_dir, resume=True))
         _assert_resumed(resumed, funarc_baseline, k)
 
     @pytest.mark.parametrize("k", [0, 3])
     def test_funarc_workers(self, funarc_baseline, tmp_path, k):
         journal_dir = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(workers=2),
-                         journal_dir=journal_dir,
-                         batch_callback=_kill_after(k))
-        resumed = run_campaign(_funarc(), _config(workers=2),
-                               resume_from=journal_dir)
+            run_campaign(_funarc(),
+                         _config(workers=2, journal_dir=journal_dir,
+                                 subscribers=(_kill_after(k),)))
+        resumed = run_campaign(_funarc(),
+                               _config(workers=2, journal_dir=journal_dir,
+                                       resume=True))
         _assert_resumed(resumed, funarc_baseline, k)
 
     def test_killed_parallel_resumed_serial(self, funarc_baseline, tmp_path):
@@ -110,33 +125,35 @@ class TestKillAndResume:
         # versa) because the journal stores results, not schedules.
         journal_dir = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(workers=2),
-                         journal_dir=journal_dir,
-                         batch_callback=_kill_after(1))
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=journal_dir)
+            run_campaign(_funarc(),
+                         _config(workers=2, journal_dir=journal_dir,
+                                 subscribers=(_kill_after(1),)))
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=journal_dir, resume=True))
         _assert_resumed(resumed, funarc_baseline, 1)
 
     @pytest.mark.parametrize("k", [0, 2])
     def test_mpas_serial(self, mpas_baseline, tmp_path, k):
         journal_dir = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_mpas(), _config(max_evaluations=30),
-                         journal_dir=journal_dir,
-                         batch_callback=_kill_after(k))
-        resumed = run_campaign(_mpas(), _config(max_evaluations=30),
-                               resume_from=journal_dir)
+            run_campaign(_mpas(),
+                         _config(max_evaluations=30, journal_dir=journal_dir,
+                                 subscribers=(_kill_after(k),)))
+        resumed = run_campaign(_mpas(),
+                               _config(max_evaluations=30,
+                                       journal_dir=journal_dir, resume=True))
         _assert_resumed(resumed, mpas_baseline, k)
 
     def test_mpas_workers(self, mpas_baseline, tmp_path):
         journal_dir = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_mpas(), _config(max_evaluations=30, workers=2),
-                         journal_dir=journal_dir,
-                         batch_callback=_kill_after(1))
-        resumed = run_campaign(_mpas(), _config(max_evaluations=30,
-                                                workers=2),
-                               resume_from=journal_dir)
+            run_campaign(_mpas(),
+                         _config(max_evaluations=30, workers=2,
+                                 journal_dir=journal_dir,
+                                 subscribers=(_kill_after(1),)))
+        resumed = run_campaign(_mpas(),
+                               _config(max_evaluations=30, workers=2,
+                                       journal_dir=journal_dir, resume=True))
         _assert_resumed(resumed, mpas_baseline, 1)
 
     def test_double_kill_double_resume(self, funarc_baseline, tmp_path):
@@ -144,13 +161,15 @@ class TestKillAndResume:
         # allocation extends the same journal.
         journal_dir = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(), journal_dir=journal_dir,
-                         batch_callback=_kill_after(0))
+            run_campaign(_funarc(),
+                         _config(journal_dir=journal_dir,
+                                 subscribers=(_kill_after(0),)))
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(), resume_from=journal_dir,
-                         batch_callback=_kill_after(2))
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=journal_dir)
+            run_campaign(_funarc(),
+                         _config(journal_dir=journal_dir, resume=True,
+                                 subscribers=(_kill_after(2),)))
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=journal_dir, resume=True))
         _assert_resumed(resumed, funarc_baseline, 2)
         state = JournalState.load(journal_dir)
         assert state.resumes == 2
@@ -159,10 +178,10 @@ class TestKillAndResume:
     def test_resume_of_finished_campaign_is_pure_replay(
             self, funarc_baseline, tmp_path):
         journal_dir = str(tmp_path / "journal")
-        first = run_campaign(_funarc(), _config(), journal_dir=journal_dir)
+        first = run_campaign(_funarc(), _config(journal_dir=journal_dir))
         assert first.to_json() == funarc_baseline.to_json()
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=journal_dir)
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=journal_dir, resume=True))
         assert resumed.to_json() == funarc_baseline.to_json()
         telemetry = resumed.oracle.telemetry
         assert sum(b.dispatched for b in telemetry) == 0
@@ -188,15 +207,15 @@ class TestMidBatchCrash:
         CampaignJournal.variant = dying_variant
         try:
             with pytest.raises(Boom):
-                run_campaign(_funarc(), _config(), journal_dir=journal_dir)
+                run_campaign(_funarc(), _config(journal_dir=journal_dir))
         finally:
             CampaignJournal.variant = original
 
         state = JournalState.load(journal_dir)
         assert state.completed_batches < state.intent_batches
 
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=journal_dir)
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=journal_dir, resume=True))
         assert resumed.to_json() == funarc_baseline.to_json()
         assert resumed.resumed_from_batch == state.completed_batches
 
@@ -205,16 +224,18 @@ class TestMidBatchCrash:
         # warns and skips it instead of refusing the whole journal.
         journal_dir = tmp_path / "journal"
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(), journal_dir=str(journal_dir),
-                         batch_callback=_kill_after(1))
+            run_campaign(_funarc(),
+                         _config(journal_dir=str(journal_dir),
+                                 subscribers=(_kill_after(1),)))
         with (journal_dir / "journal.jsonl").open("a") as fh:
             fh.write('{"type": "variant", "batch": 2, "rec')
 
         state = JournalState.load(journal_dir)
         assert any("torn journal line" in w for w in state.warnings)
 
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=str(journal_dir))
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=str(journal_dir),
+                                       resume=True))
         _assert_resumed(resumed, funarc_baseline, 1)
 
 
@@ -224,12 +245,14 @@ class TestGracefulSignals:
                                        signum):
         journal_dir = str(tmp_path / "journal")
 
+        @_on_batch
         def send_signal(bt):
             if bt.batch_index == 1:
                 os.kill(os.getpid(), signum)
 
-        result = run_campaign(_funarc(), _config(), journal_dir=journal_dir,
-                              batch_callback=send_signal)
+        result = run_campaign(_funarc(),
+                              _config(journal_dir=journal_dir,
+                                      subscribers=(send_signal,)))
         # Partial result, not a stack trace: batches 0-1 committed.
         assert result.interrupted
         assert not result.search.finished
@@ -243,19 +266,20 @@ class TestGracefulSignals:
         assert state.interruptions == 1
         assert not state.finished
 
-        resumed = run_campaign(_funarc(), _config(),
-                               resume_from=journal_dir)
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=journal_dir, resume=True))
         assert not resumed.interrupted
         assert resumed.search.finished
         _assert_resumed(resumed, funarc_baseline, 1)
 
     def test_signal_without_journal_still_graceful(self):
+        @_on_batch
         def send_signal(bt):
             if bt.batch_index == 0:
                 os.kill(os.getpid(), signal.SIGINT)
 
-        result = run_campaign(_funarc(), _config(),
-                              batch_callback=send_signal)
+        result = run_campaign(_funarc(),
+                              _config(subscribers=(send_signal,)))
         assert result.interrupted
         assert len(result.oracle.telemetry) == 1
 
@@ -263,13 +287,15 @@ class TestGracefulSignals:
         before = signal.getsignal(signal.SIGTERM)
         seen = []
 
+        @_on_batch
         def probe(bt):
             seen.append(signal.getsignal(signal.SIGTERM))
             raise Boom("stop after one batch")
 
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(handle_signals=False),
-                         batch_callback=probe)
+            run_campaign(_funarc(),
+                         _config(handle_signals=False,
+                                 subscribers=(probe,)))
         assert seen == [before]
 
 
@@ -280,29 +306,32 @@ class TestResumeRefusal:
     def journal_dir(self, tmp_path):
         d = str(tmp_path / "journal")
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(), journal_dir=d,
-                         batch_callback=_kill_after(0))
+            run_campaign(_funarc(),
+                         _config(journal_dir=d,
+                                 subscribers=(_kill_after(0),)))
         return d
 
     def test_different_model_spec_refused(self, journal_dir):
         with pytest.raises(JournalError, match="evaluation context"):
             run_campaign(FunarcCase(n=150, error_threshold=1e-6),
-                         _config(), resume_from=journal_dir)
+                         _config(journal_dir=journal_dir, resume=True))
 
     def test_different_algorithm_refused(self, journal_dir):
         with pytest.raises(JournalError, match="algorithm"):
-            run_campaign(_funarc(), _config(),
-                         algorithm=RandomSearch(samples=5),
-                         resume_from=journal_dir)
+            run_campaign(_funarc(),
+                         _config(journal_dir=journal_dir, resume=True),
+                         algorithm=RandomSearch(samples=5))
 
     def test_different_config_refused(self, journal_dir):
         with pytest.raises(JournalError, match="config"):
-            run_campaign(_funarc(), _config(max_evaluations=17),
-                         resume_from=journal_dir)
+            run_campaign(_funarc(),
+                         _config(max_evaluations=17,
+                                 journal_dir=journal_dir, resume=True))
 
     def test_worker_count_is_not_identity(self, journal_dir, funarc_baseline):
-        resumed = run_campaign(_funarc(), _config(workers=2),
-                               resume_from=journal_dir)
+        resumed = run_campaign(_funarc(),
+                               _config(workers=2, journal_dir=journal_dir,
+                                       resume=True))
         assert resumed.to_json() == funarc_baseline.to_json()
 
     def test_resume_without_journal_dir_refused(self):
@@ -312,18 +341,19 @@ class TestResumeRefusal:
 
     def test_resume_of_missing_journal_refused(self, tmp_path):
         with pytest.raises(JournalError, match="nothing to resume"):
-            run_campaign(_funarc(), _config(),
-                         resume_from=str(tmp_path / "absent"))
+            run_campaign(_funarc(),
+                         _config(journal_dir=str(tmp_path / "absent"),
+                                 resume=True))
 
     def test_fresh_run_refuses_existing_journal(self, journal_dir):
         with pytest.raises(JournalError, match="already exists"):
-            run_campaign(_funarc(), _config(), journal_dir=journal_dir)
+            run_campaign(_funarc(), _config(journal_dir=journal_dir))
 
 
 class TestJournalArtifacts:
     def test_writeahead_order_and_terminal_marker(self, tmp_path):
         journal_dir = tmp_path / "journal"
-        run_campaign(_funarc(), _config(), journal_dir=str(journal_dir))
+        run_campaign(_funarc(), _config(journal_dir=str(journal_dir)))
         lines = [json.loads(line) for line in
                  (journal_dir / "journal.jsonl").read_text().splitlines()]
         assert lines[0]["type"] == "header"
@@ -346,7 +376,7 @@ class TestJournalArtifacts:
 
     def test_snapshot_written_atomically(self, tmp_path):
         journal_dir = tmp_path / "journal"
-        run_campaign(_funarc(), _config(), journal_dir=str(journal_dir))
+        run_campaign(_funarc(), _config(journal_dir=str(journal_dir)))
         snapshot = json.loads((journal_dir / "snapshot.json").read_text())
         assert snapshot["algorithm"] == "delta-debug"
         assert snapshot["phase"] == "final"
@@ -355,8 +385,9 @@ class TestJournalArtifacts:
     def test_unreadable_snapshot_is_advisory(self, tmp_path):
         journal_dir = tmp_path / "journal"
         with pytest.raises(Boom):
-            run_campaign(_funarc(), _config(), journal_dir=str(journal_dir),
-                         batch_callback=_kill_after(1))
+            run_campaign(_funarc(),
+                         _config(journal_dir=str(journal_dir),
+                                 subscribers=(_kill_after(1),)))
         (journal_dir / "snapshot.json").write_text("{truncated")
         state = JournalState.load(journal_dir)
         assert state.snapshot is None
