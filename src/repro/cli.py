@@ -28,15 +28,17 @@ from typing import Optional
 from .analysis import assess_hotspot, build_dataflow
 from .errors import ReproError
 from .core import (CampaignConfig, DeltaDebugSearch, Evaluator,
-                   HierarchicalSearch, RandomSearch, ScreenedDeltaDebug,
-                   make_oracle, run_campaign)
+                   HierarchicalSearch, ProfileGuidedSearch, RandomSearch,
+                   ScreenedDeltaDebug, make_oracle, run_campaign)
 from .core.results import save_records
 from .fortran import reduce_program, unparse
 from .models import MODEL_FACTORIES, get_model
+from .numerics import profile_model
 from .obs import ConsoleRenderer, summarize_trace
 from .perf import DERECHO, time_execution
-from .reporting import (ascii_scatter, render_trace_summary,
-                        scatter_from_records, variant_diff, variant_source)
+from .reporting import (ascii_scatter, render_numerics_profile,
+                        render_trace_summary, scatter_from_records,
+                        variant_diff, variant_source)
 
 __all__ = ["main", "build_parser"]
 
@@ -66,8 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available model cases")
 
-    p = sub.add_parser("profile", help="profile a model (Table I row)")
+    p = sub.add_parser("profile", help="profile a model (Table I row, or "
+                                       "--numerics for the shadow-execution "
+                                       "error profile)")
     p.add_argument("model", help="model name (see `repro list`)")
+    p.add_argument("--numerics", action="store_true",
+                   help="run the shadow-execution numerical profiler "
+                        "instead of the performance profile: every real "
+                        "is carried at its declared kind and at float64 "
+                        "simultaneously, and per-variable error metrics "
+                        "produce a blame ranking over the search atoms")
+    p.add_argument("--out", default=None,
+                   help="with --numerics: persist the profile (JSON) "
+                        "here for reuse via tune --profile")
+    p.add_argument("--top", type=int, default=10,
+                   help="with --numerics: blame-table rows to print "
+                        "(default 10; 0 = all)")
 
     p = sub.add_parser("assess", parents=[execution],
                        help="tunability criteria (paper section V)")
@@ -81,8 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a precision-tuning search")
     p.add_argument("model")
     p.add_argument("--algorithm", default="dd",
-                   choices=["dd", "random", "hierarchical", "screened"],
-                   help="search strategy (default: delta debugging)")
+                   choices=["dd", "random", "hierarchical", "screened",
+                            "profile"],
+                   help="search strategy (default: delta debugging; "
+                        "'profile' is the profile-guided search, which "
+                        "computes or loads a numerical profile first)")
+    p.add_argument("--profile", default=None, dest="profile_path",
+                   metavar="PATH",
+                   help="numerical-profile file (see `repro profile "
+                        "--numerics --out`): loaded if present, else "
+                        "computed and saved here; with --algorithm "
+                        "dd/screened it enables profile-aware candidate "
+                        "ordering")
     p.add_argument("--max-evals", type=int, default=600,
                    help="evaluation cap (default 600)")
     p.add_argument("--budget-hours", type=float, default=12.0,
@@ -159,6 +185,15 @@ def _cmd_list(_args) -> int:
 
 def _cmd_profile(args) -> int:
     case = get_model(args.model)
+    if args.numerics:
+        profile = profile_model(case)
+        print(render_numerics_profile(profile, top=args.top))
+        if args.out:
+            profile.save(args.out)
+            print(f"\nprofile written to {args.out} "
+                  f"(reuse with: repro tune {args.model} "
+                  f"--algorithm profile --profile {args.out})")
+        return 0
     print(case.describe())
     run = case.run(None)
     report, cost = time_execution(
@@ -226,6 +261,9 @@ def _result_payload(result) -> dict:
         "trace_dir": result.trace_dir,
         "wall_hours": result.wall_hours(),
         "batches": [bt.as_dict() for bt in result.oracle.telemetry],
+        "profile": {"digest": result.profile_digest,
+                    "source": result.profile_source},
+        "cache_warnings": list(result.cache_warnings),
     }
     return payload
 
@@ -249,6 +287,10 @@ def _cmd_tune(args) -> int:
         algorithm = HierarchicalSearch()
     elif args.algorithm == "screened":
         algorithm = ScreenedDeltaDebug.for_model(case)
+    elif args.algorithm == "profile":
+        # Singleton demotions the profile already measured above the
+        # correctness threshold are pruned without dynamic evaluation.
+        algorithm = ProfileGuidedSearch(prune_above=case.error_threshold)
     else:
         algorithm = DeltaDebugSearch()
 
@@ -268,6 +310,7 @@ def _cmd_tune(args) -> int:
         journal_dir=args.journal_dir,
         resume=args.resume,
         trace_dir=args.trace_dir,
+        profile_path=args.profile_path,
         subscribers=tuple(subscribers),
     )
     result = run_campaign(case, config, algorithm=algorithm)
@@ -276,6 +319,12 @@ def _cmd_tune(args) -> int:
             f"(journal: {result.journal_dir})")
     if result.preprocessing_note:
         say(f"note: {result.preprocessing_note}")
+    if result.profile_source:
+        say(f"numerical profile: {result.profile_source} "
+            f"(digest {result.profile_digest}, "
+            f"{result.charged_profiling_seconds():.1f} sim seconds charged)")
+    for warning in result.cache_warnings:
+        say(f"cache warning: {warning}")
     if not result.records:
         say("no variants evaluated (interrupted before the first "
             "batch completed)")
@@ -332,6 +381,14 @@ def _cmd_tune(args) -> int:
 def _cmd_trace(args) -> int:
     summary = summarize_trace(args.trace_dir)
     print(render_trace_summary(summary))
+    # A reconciliation gap between the stage totals and the campaign's
+    # own accounting means the trace (or the charging logic behind it)
+    # is wrong — make it a hard failure so CI catches drift.
+    if summary.campaign_sim_seconds and summary.mismatch_pct() > 0.01:
+        print(f"error: stage totals diverge from campaign accounting "
+              f"by {summary.mismatch_pct():.3f}% (> 0.01%)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

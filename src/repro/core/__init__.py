@@ -23,8 +23,9 @@ from .metrics import (choose_n_runs, l2_over_axis, median_time,
                       relative_error, speedup_eq1)
 from .searchspace import SearchSpace
 from .search import (BruteForceSearch, CampaignInterrupted, DeltaDebugSearch,
-                     FunctionOracle, HierarchicalSearch, RandomSearch,
-                     ScreenedDeltaDebug, SearchResult, optimal_frontier)
+                     FunctionOracle, HierarchicalSearch, ProfileGuidedResult,
+                     ProfileGuidedSearch, RandomSearch, ScreenedDeltaDebug,
+                     SearchResult, optimal_frontier)
 
 __all__ = [
     "PrecisionAssignment", "SearchAtom", "collect_atoms", "BatchTelemetry",
@@ -36,6 +37,6 @@ __all__ = [
     "evaluation_context", "choose_n_runs", "l2_over_axis", "median_time",
     "relative_error", "speedup_eq1", "SearchSpace", "BruteForceSearch",
     "CampaignInterrupted", "DeltaDebugSearch", "FunctionOracle",
-    "HierarchicalSearch", "RandomSearch", "ScreenedDeltaDebug",
-    "SearchResult", "optimal_frontier",
+    "HierarchicalSearch", "ProfileGuidedResult", "ProfileGuidedSearch",
+    "RandomSearch", "ScreenedDeltaDebug", "SearchResult", "optimal_frontier",
 ]

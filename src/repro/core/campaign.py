@@ -49,8 +49,9 @@ from typing import Callable, Optional
 from ..errors import CampaignError, ReproError
 from ..obs.bus import EventBus, subscribes_to
 from ..obs.collectors import MetricsCollector
-from ..obs.events import (BatchCompleted, BatchStarted, CampaignFinished,
-                          CampaignStarted, PreprocessingDone,
+from ..obs.events import (BatchCompleted, BatchStarted, CacheWarnings,
+                          CampaignFinished, CampaignStarted,
+                          PreprocessingDone, ProfileComputed,
                           VariantEvaluated)
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
@@ -105,6 +106,15 @@ class CampaignConfig:
     #: classified results, never retried, and never backed off.
     retry_backoff_seconds: float = 0.5
     retry_backoff_max_seconds: float = 8.0
+
+    # -- numerical profiling (repro.numerics) ------------------------------
+    #: Where to persist/load the shadow-execution numerical profile.
+    #: When the file exists it is loaded (~0 simulated cost); otherwise a
+    #: profile is computed (charged against the budget) and saved here.
+    #: A path also opts plain delta-debugging searches into profile-aware
+    #: candidate ordering (``atom_ranker``); profile-guided searches
+    #: (``wants_profile``) get a profile with or without a path.
+    profile_path: Optional[str] = None
 
     # -- observability (repro.obs) -----------------------------------------
     #: Directory for the crash-safe span trace (``trace.jsonl``) and the
@@ -531,6 +541,17 @@ class CampaignResult:
     #: exported as ``metrics.prom`` in ``trace_dir`` when tracing.
     metrics: Optional[MetricsRegistry] = None
     trace_dir: Optional[str] = None
+    #: Numerical-profile provenance (empty when the search ran unguided):
+    #: digest of the guiding profile, where it came from ("computed" /
+    #: "loaded" / "injected"), and its simulated cost.  The cost is the
+    #: profile's *as-if* charge — deterministic regardless of whether
+    #: this particular run computed or merely loaded the profile (the
+    #: actually-charged amount lives in the span trace).
+    profile_digest: str = ""
+    profile_source: str = ""
+    profile_sim_seconds: float = 0.0
+    #: Result-cache load warnings (unreadable entries skipped).
+    cache_warnings: tuple = ()
 
     @property
     def records(self) -> list[VariantRecord]:
@@ -556,9 +577,15 @@ class CampaignResult:
             finished=self.search.finished,
         )
 
+    def charged_profiling_seconds(self) -> float:
+        """Simulated seconds this run actually spent profiling (0.0 when
+        the profile was loaded or injected rather than computed)."""
+        return (self.profile_sim_seconds
+                if self.profile_source == "computed" else 0.0)
+
     def wall_hours(self) -> float:
-        return (self.oracle.wall_seconds_used
-                + self.preprocessing_seconds) / 3600.0
+        return (self.oracle.wall_seconds_used + self.preprocessing_seconds
+                + self.charged_profiling_seconds()) / 3600.0
 
     def deterministic_metrics(self) -> dict:
         """Search-derived metrics safe to embed in :meth:`to_json`.
@@ -574,7 +601,8 @@ class CampaignResult:
         outcomes = {o.name: 0 for o in Outcome}
         for r in recs:
             outcomes[r.outcome.name] += 1
-        stage_sim = {"preprocess": self.preprocessing_seconds}
+        stage_sim = {"preprocess": self.preprocessing_seconds,
+                     "profile": self.profile_sim_seconds}
         stage_sim.update({s: 0.0 for s in STAGES})
         for r in recs:
             for stage, sim in self.evaluator.stage_timings(r):
@@ -656,6 +684,42 @@ def _apply_legacy_kwargs(config: CampaignConfig,
     return config.overriding(**overrides)
 
 
+def _resolve_profile(model, config: CampaignConfig, algorithm):
+    """Resolve the numerical profile the algorithm wants (or can use).
+
+    Returns ``(profile, source, charged_sim_seconds, wall_seconds)``,
+    or ``(None, "", 0.0, 0.0)`` when the algorithm takes no profile
+    guidance.  An algorithm declares a hard requirement with a truthy
+    ``wants_profile`` attribute (:class:`~repro.core.search
+    .profile_guided.ProfileGuidedSearch`); an ``atom_ranker`` attribute
+    (delta debugging and its screened wrapper) opts into guidance only
+    when ``config.profile_path`` is set.  Loading an existing profile
+    charges ~0 simulated seconds — the whole point of persisting it —
+    while computing one charges its shadow-execution cost.
+    """
+    wants = bool(getattr(algorithm, "wants_profile", False))
+    takes_ranker = hasattr(algorithm, "atom_ranker")
+    if not wants and not (takes_ranker and config.profile_path):
+        return None, "", 0.0, 0.0
+    if wants and getattr(algorithm, "profile", None) is not None:
+        return algorithm.profile, "injected", 0.0, 0.0
+    from ..numerics import NumericalProfile, profile_model
+    path = Path(config.profile_path) if config.profile_path else None
+    started = time.perf_counter()
+    if path is not None and path.exists():
+        profile = NumericalProfile.load(path)
+        if profile.model != model.name:
+            raise CampaignError(
+                f"profile at {path} was recorded for model "
+                f"'{profile.model}', not '{model.name}'")
+        return profile, "loaded", 0.0, time.perf_counter() - started
+    profile = profile_model(model)
+    if path is not None:
+        profile.save(path)
+    return (profile, "computed", profile.sim_seconds,
+            time.perf_counter() - started)
+
+
 def run_campaign(
     model,                                  # repro.models.base.ModelCase
     config: Optional[CampaignConfig] = None,
@@ -692,6 +756,22 @@ def run_campaign(
                               seed=config.seed)
     if algorithm is None:
         algorithm = DeltaDebugSearch(min_speedup=config.min_speedup)
+
+    # Numerical profiling (repro.numerics): resolved before the journal
+    # header is written so the profile's digest participates in the
+    # algorithm fingerprint — a resumed campaign guided by a different
+    # profile would follow a different trajectory and must be refused.
+    profile, profile_source, profile_charge, profile_wall = \
+        _resolve_profile(model, config, algorithm)
+    profile_digest = ""
+    if profile is not None:
+        profile_digest = profile.digest()
+        if getattr(algorithm, "wants_profile", False):
+            algorithm.profile = profile
+        else:
+            algorithm.atom_ranker = profile.score_of
+        if hasattr(algorithm, "profile_digest"):
+            algorithm.profile_digest = profile_digest
 
     oracle = make_oracle(model, config, evaluator=evaluator)
 
@@ -767,6 +847,32 @@ def run_campaign(
                                        sim_seconds=preprocessing,
                                        note=preprocessing_note))
 
+            # One-time numerical-profile charge: a freshly computed
+            # profile costs shadow-execution node time; a loaded or
+            # injected one is free (sim_seconds 0.0) but still traced
+            # for provenance.
+            if profile is not None:
+                tracer.emit_span(
+                    "profile", wall_seconds=profile_wall,
+                    sim_seconds=profile_charge,
+                    attrs={"source": profile_source,
+                           "digest": profile_digest})
+                bus.emit(ProfileComputed(
+                    model=model.name, source=profile_source,
+                    digest=profile_digest, sim_seconds=profile_charge,
+                    variables=len(profile.variables),
+                    cancellations=profile.counters.get("cancellations", 0)))
+
+            cache_warnings = (tuple(oracle.cache.load_warnings)
+                              if oracle.cache is not None else ())
+            if cache_warnings:
+                tracer.emit_span(
+                    "cache_warnings", wall_seconds=0.0, sim_seconds=0.0,
+                    attrs={"count": len(cache_warnings),
+                           "warnings": list(cache_warnings)})
+                bus.emit(CacheWarnings(count=len(cache_warnings),
+                                       warnings=cache_warnings))
+
             try:
                 with _signal_guard(flag, config.handle_signals):
                     try:
@@ -786,12 +892,13 @@ def run_campaign(
                 if journal is not None:
                     journal.close()
                 campaign_span.set_sim(oracle.wall_seconds_used
-                                      + preprocessing)
+                                      + preprocessing + profile_charge)
         bus.emit(CampaignFinished(
             model=model.name, finished=search_result.finished,
             interrupted=interrupted, evaluations=oracle.evaluations,
             batches=len(oracle.telemetry),
-            sim_seconds=oracle.wall_seconds_used + preprocessing,
+            sim_seconds=(oracle.wall_seconds_used + preprocessing
+                         + profile_charge),
         ))
     finally:
         # The trace artifacts must survive any exit — including a
@@ -814,6 +921,11 @@ def run_campaign(
         journal_dir=journal_dir,
         metrics=registry,
         trace_dir=config.trace_dir,
+        profile_digest=profile_digest,
+        profile_source=profile_source,
+        profile_sim_seconds=(profile.sim_seconds
+                             if profile is not None else 0.0),
+        cache_warnings=cache_warnings,
     )
 
 

@@ -5,6 +5,7 @@ from .base import (BatchOracle, BudgetExhausted, CampaignInterrupted,
 from .bruteforce import BruteForceSearch, optimal_frontier
 from .deltadebug import DeltaDebugSearch
 from .hierarchical import HierarchicalSearch
+from .profile_guided import ProfileGuidedResult, ProfileGuidedSearch
 from .random_search import RandomSearch
 from .screened import ScreenedDeltaDebug, ScreenedSearchResult
 
@@ -12,6 +13,6 @@ __all__ = [
     "BatchOracle", "BudgetExhausted", "CampaignInterrupted",
     "FunctionOracle", "SearchResult",
     "partition", "BruteForceSearch", "optimal_frontier", "DeltaDebugSearch",
-    "HierarchicalSearch", "RandomSearch", "ScreenedDeltaDebug",
-    "ScreenedSearchResult",
+    "HierarchicalSearch", "ProfileGuidedResult", "ProfileGuidedSearch",
+    "RandomSearch", "ScreenedDeltaDebug", "ScreenedSearchResult",
 ]

@@ -39,6 +39,17 @@ class DeltaDebugSearch:
     #: Try the uniform-32 variant first (Precimonious does; it is also the
     #: vendor-supported configuration for MPAS-A).
     try_uniform_first: bool = True
+    #: Optional qualified-name → blame score (see
+    #: :meth:`repro.numerics.NumericalProfile.score_of`).  When set, the
+    #: candidate list is sorted ascending by score before partitioning,
+    #: so early subsets cluster the atoms a numerical profile says are
+    #: safest to demote.  Changes the trajectory; campaigns record the
+    #: profile's digest in ``profile_digest`` for journal validation.
+    atom_ranker: Optional[Callable[[str], float]] = field(
+        default=None, compare=False)
+    #: Provenance of the profile behind ``atom_ranker`` (journal
+    #: fingerprint material; None when no ranker is installed).
+    profile_digest: Optional[str] = None
     #: Observability hook: called with a JSON-serializable dict of the
     #: complete search state after every batch (the campaign journal
     #: wires this to its atomic snapshot writer).  The state — accepted
@@ -65,6 +76,8 @@ class DeltaDebugSearch:
         # Candidates: atoms currently at 64-bit that we may still lower.
         delta = [a.qualified for a in accepted.atoms
                  if accepted.kind_of(a.qualified) == 8]
+        if self.atom_ranker is not None:
+            delta.sort(key=lambda q: (float(self.atom_ranker(q)), q))
         div = 2
 
         def snapshot(phase: str) -> None:

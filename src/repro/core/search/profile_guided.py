@@ -1,0 +1,191 @@
+"""Profile-guided precision search.
+
+Where delta debugging explores blind, this strategy spends one shadow
+-execution profile (:mod:`repro.numerics`) to know *where* precision is
+load-bearing before paying for any dynamic evaluation, then searches in
+two phases:
+
+**Greedy descent** — the profile's blame ranking orders atoms from most
+to least error-critical.  Candidate *k* keeps the top-*k* blamed atoms
+at 64-bit and lowers everything else; k is swept upward from 0 (the
+uniform-32 point) until a candidate is accepted.  For a well-behaved
+model the first few candidates land on the paper's observation that one
+or two accumulators carry all the sensitivity, so acceptance arrives in
+O(1) evaluations instead of ddmin's O(n log n).  After
+``descent_limit`` consecutive single-candidate misses the remaining
+depths are evaluated as one batch and the shallowest accepted candidate
+wins (bounding worst-case batches at ``descent_limit + 1``).
+
+**1-minimality polish** — rounds of singleton demotions over the
+remaining 64-bit atoms (least-blamed first, one batch per round, like
+ddmin's final granularity) until none is accepted.  Singletons whose
+blame score exceeds ``prune_above`` are *pruned*: the profile already
+measured their error above the acceptable level, so the dynamic
+evaluation is skipped and counted in ``pruned_singletons``.  With
+pruning active the result is 1-minimal with respect to the combined
+profile+dynamic acceptance test (exactly the contract of the static
+screen in :mod:`repro.core.search.screened`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Optional
+
+from ...errors import SearchError
+from ..assignment import PrecisionAssignment
+from ..evaluation import VariantRecord
+from ..searchspace import SearchSpace
+from .base import BatchOracle, BudgetExhausted, SearchResult
+
+__all__ = ["ProfileGuidedSearch", "ProfileGuidedResult"]
+
+
+@dataclass
+class ProfileGuidedResult(SearchResult):
+    """Search result plus profile-guidance statistics."""
+
+    #: Singleton demotions skipped because the profile blamed the atom
+    #: above ``prune_above`` (zero dynamic cost each).
+    pruned_singletons: int = 0
+    #: Digest of the profile that guided the search.
+    profile_digest: str = ""
+
+
+@dataclass
+class ProfileGuidedSearch:
+    """Blame-ranked greedy descent + 1-minimality polish."""
+
+    #: The campaign driver reads this to know the strategy needs a
+    #: :class:`~repro.numerics.NumericalProfile` injected before ``run``.
+    wants_profile: ClassVar[bool] = True
+
+    min_speedup: float = 1.0
+    #: The guiding profile.  Usually installed by ``run_campaign`` (which
+    #: computes or loads it and charges its simulated cost); set directly
+    #: when driving the search by hand.
+    profile: Optional[object] = field(default=None, compare=False)
+    #: Blame score above which a singleton demotion is pruned instead of
+    #: evaluated (None = never prune).  A natural setting is the model's
+    #: correctness threshold: the profile measured the variable's
+    #: all-single relative error already above what acceptance allows.
+    prune_above: Optional[float] = None
+    #: Consecutive greedy-descent misses before the remaining depths are
+    #: evaluated as a single batch.
+    descent_limit: int = 8
+    #: Provenance of ``profile`` (journal fingerprint material).
+    profile_digest: Optional[str] = None
+    #: Observability hook, same contract as
+    #: :class:`~repro.core.search.deltadebug.DeltaDebugSearch`.
+    snapshot_hook: Optional[Callable[[dict], None]] = field(
+        default=None, compare=False)
+
+    def run(self, space: SearchSpace,
+            oracle: BatchOracle) -> ProfileGuidedResult:
+        profile = self.profile
+        if profile is None:
+            raise SearchError(
+                "ProfileGuidedSearch needs a NumericalProfile; run it "
+                "through run_campaign (which computes one) or set .profile")
+
+        records: list[VariantRecord] = []
+        batches = 0
+
+        def evaluate(assignments: list[PrecisionAssignment]
+                     ) -> list[VariantRecord]:
+            nonlocal batches
+            batches += 1
+            results = oracle.evaluate_batch(assignments)
+            records.extend(results)
+            return results
+
+        space_names = set(space.atom_names())
+        # Most-blamed first; atoms the profile never saw rank last
+        # (score 0, name-ordered) — the ranking is total either way.
+        ranked = [q for q in profile.ranked_atoms() if q in space_names]
+        ranked += sorted(space_names.difference(ranked))
+
+        accepted = space.baseline()
+        accepted_record: Optional[VariantRecord] = None
+        pruned: set[str] = set()
+        descent_k = -1
+
+        def snapshot(tag: str) -> None:
+            if self.snapshot_hook is None:
+                return
+            self.snapshot_hook({
+                "algorithm": "profile-guided",
+                "phase": tag,
+                "batches": batches,
+                "evaluations": len(records),
+                "accepted_kinds": list(accepted.kinds),
+                "descent_k": descent_k,
+                "pruned": sorted(pruned),
+                "profile_digest": self.profile_digest or profile.digest(),
+            })
+
+        def result(finished: bool) -> ProfileGuidedResult:
+            return ProfileGuidedResult(
+                final=accepted, final_record=accepted_record,
+                records=records, finished=finished, batches=batches,
+                algorithm="profile-guided",
+                pruned_singletons=len(pruned),
+                profile_digest=self.profile_digest or profile.digest())
+
+        def keep_top(k: int) -> PrecisionAssignment:
+            """Top-k blamed stay 64-bit, the rest are demoted."""
+            return space.baseline().lower_all(ranked[k:])
+
+        try:
+            # --- phase 1: greedy descent down the blame ranking ----------
+            misses = 0
+            for k in range(len(ranked)):
+                descent_k = k
+                snapshot("descent")
+                if misses >= self.descent_limit:
+                    # Batch the remaining depths; shallowest hit wins.
+                    depths = list(range(k, len(ranked)))
+                    results = evaluate([keep_top(d) for d in depths])
+                    hit = next((i for i, r in enumerate(results)
+                                if r.accepted(self.min_speedup)), None)
+                    if hit is not None:
+                        descent_k = depths[hit]
+                        accepted = keep_top(descent_k)
+                        accepted_record = results[hit]
+                    break
+                (rec,) = evaluate([keep_top(k)])
+                if rec.accepted(self.min_speedup):
+                    accepted = keep_top(k)
+                    accepted_record = rec
+                    break
+                misses += 1
+
+            # --- phase 2: 1-minimality polish, least-blamed first --------
+            while True:
+                snapshot("polish")
+                candidates = []
+                for q in sorted(accepted.high(),
+                                key=lambda q: (profile.score_of(q), q)):
+                    score = profile.score_of(q)
+                    if (self.prune_above is not None
+                            and score > self.prune_above):
+                        pruned.add(q)
+                        continue
+                    candidates.append(q)
+                if not candidates:
+                    break
+                results = evaluate(
+                    [accepted.lower_all([q]) for q in candidates])
+                hit = next((i for i, r in enumerate(results)
+                            if r.accepted(self.min_speedup)), None)
+                if hit is None:
+                    break
+                accepted = accepted.lower_all([candidates[hit]])
+                accepted_record = results[hit]
+
+        except BudgetExhausted:
+            snapshot("exhausted")
+            return result(finished=False)
+
+        snapshot("final")
+        return result(finished=True)

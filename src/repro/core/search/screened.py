@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ...analysis.screening import StaticScreen
 from ..assignment import PrecisionAssignment
@@ -98,6 +98,11 @@ class ScreenedDeltaDebug:
     screen: StaticScreen = None  # type: ignore[assignment]
     min_speedup: float = 1.0
     try_uniform_first: bool = True
+    #: Forwarded to the inner :class:`DeltaDebugSearch` (see there):
+    #: profile-aware candidate ordering plus its provenance digest.
+    atom_ranker: Optional[Callable[[str], float]] = field(
+        default=None, compare=False)
+    profile_digest: Optional[str] = None
 
     @classmethod
     def for_model(cls, model, penalty_budget: float = 200.0,
@@ -127,7 +132,9 @@ class ScreenedDeltaDebug:
                              "(use for_model())")
         wrapped = _ScreeningOracle(oracle, self.screen)
         inner = DeltaDebugSearch(min_speedup=self.min_speedup,
-                                 try_uniform_first=self.try_uniform_first)
+                                 try_uniform_first=self.try_uniform_first,
+                                 atom_ranker=self.atom_ranker,
+                                 profile_digest=self.profile_digest)
         result = inner.run(space, wrapped)
         return ScreenedSearchResult(
             final=result.final,

@@ -23,7 +23,8 @@ from .symbols import KIND_DOUBLE, KIND_SINGLE
 
 __all__ = [
     "FArray", "dtype_for_kind", "kind_of", "real_scalar", "cast_real",
-    "element_count", "is_real_value", "promote_kinds",
+    "element_count", "is_real_value", "promote_kinds", "relative_gap",
+    "ulp_distance",
 ]
 
 _DTYPES = {KIND_SINGLE: np.float32, KIND_DOUBLE: np.float64}
@@ -181,3 +182,29 @@ def promote_kinds(k1: int | None, k2: int | None) -> int:
     if k2 is None:
         return k1
     return max(k1, k2)
+
+
+def relative_gap(value: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Elementwise relative error of *value* against *reference*.
+
+    The denominator is floored at the smallest normal float64 so
+    references at (or near) zero yield a large-but-finite error instead
+    of dividing by zero; callers mask non-finite inputs beforehand.
+    """
+    ref = np.asarray(reference, dtype=np.float64)
+    floor = np.finfo(np.float64).tiny
+    return (np.abs(np.asarray(value, dtype=np.float64) - ref)
+            / np.maximum(np.abs(ref), floor))
+
+
+def ulp_distance(value: np.ndarray, reference: np.ndarray,
+                 kind: int) -> np.ndarray:
+    """Elementwise |value - reference| in units in the last place of the
+    reference *at the storage kind* — i.e. how many representable
+    numbers of ``kind`` the stored value is away from the float64 truth.
+    """
+    ref = np.asarray(reference, dtype=np.float64)
+    dt = dtype_for_kind(kind)
+    spacing = np.abs(np.spacing(np.abs(ref).astype(dt))).astype(np.float64)
+    spacing = np.maximum(spacing, float(np.finfo(dt).tiny))
+    return np.abs(np.asarray(value, dtype=np.float64) - ref) / spacing

@@ -131,15 +131,23 @@ class ModelCase:
     # ------------------------------------------------------------------
 
     def run(self, assignment: Optional[PrecisionAssignment] = None,
-            max_ops: Optional[int] = None) -> RunArtifacts:
+            max_ops: Optional[int] = None,
+            interpreter_factory=None) -> RunArtifacts:
         """Execute the model under *assignment* (None = declared kinds).
+
+        *interpreter_factory*, when given, is called with the same
+        keyword arguments as :class:`Interpreter` and must return an
+        interpreter — this is how the shadow-execution profiler
+        (:mod:`repro.numerics`) substitutes its instrumented engine
+        without the model knowing.
 
         Raises :class:`repro.errors.FortranRuntimeError` subclasses when
         the variant crashes — callers classify these.
         """
         overlay = assignment.overlay() if assignment is not None else {}
-        interp = Interpreter(self.index, overlay=overlay,
-                             vec_info=self.vec_info, max_ops=max_ops)
+        factory = interpreter_factory or Interpreter
+        interp = factory(self.index, overlay=overlay,
+                         vec_info=self.vec_info, max_ops=max_ops)
         observable = self._drive(interp)
         if not isinstance(observable, np.ndarray):
             observable = np.asarray(observable, dtype=np.float64)

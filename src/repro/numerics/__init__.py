@@ -1,0 +1,20 @@
+"""Shadow-execution numerical profiling (RAPTOR / CHEF-FP style).
+
+One instrumented interpreter pass carries every real value at its
+working precision *and* at a float64 reference simultaneously, recording
+where rounding error is born and how it propagates.  The distilled
+:class:`NumericalProfile` ranks the search atoms by blame, which the
+profile-guided search strategies use to try low-blame demotions first —
+cutting the dynamic-evaluation budget that dominates FPPT cost.
+"""
+
+from .profile import PROFILE_FORMAT, NumericalProfile, ProfileError
+from .profiler import (SHADOW_OVERHEAD_FACTOR, profile_model,
+                       profile_sim_seconds)
+from .shadow import CANCEL_BITS, SV, ShadowInterpreter, ShadowRecorder
+
+__all__ = [
+    "PROFILE_FORMAT", "NumericalProfile", "ProfileError",
+    "SHADOW_OVERHEAD_FACTOR", "profile_model", "profile_sim_seconds",
+    "CANCEL_BITS", "SV", "ShadowInterpreter", "ShadowRecorder",
+]

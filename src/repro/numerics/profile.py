@@ -1,0 +1,192 @@
+"""The persisted numerical-profile artifact.
+
+A :class:`NumericalProfile` is what one shadow-execution run (see
+:mod:`repro.numerics.shadow`) distills: per-variable and per-statement
+floating-point error statistics, aggregate counters, and a **blame
+ranking** over the same qualified atom names the search space uses —
+so search strategies can consume it directly.
+
+The artifact is deliberately boring: a versioned, deterministic JSON
+document.  ``to_json()`` is byte-stable (sorted keys, plain floats) so
+repeated profiling runs of the same model — serially or under any
+``--workers`` setting, which never touches the profiler because the
+profile is computed in the parent process — produce identical bytes,
+and ``digest()`` gives campaigns a provenance fingerprint that the
+journal can validate across resumes.
+
+This module intentionally imports nothing from the interpreter layer;
+search code can depend on it without dragging the Fortran stack in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from ..errors import ReproError
+
+__all__ = ["PROFILE_FORMAT", "NumericalProfile", "ProfileError"]
+
+#: Bump when the JSON schema changes incompatibly.
+PROFILE_FORMAT = 1
+
+#: Metric keys present in every per-variable / per-statement stats dict.
+STAT_KEYS = ("observations", "elements", "max_rel_error", "mean_rel_error",
+             "last_rel_error", "max_ulp_error", "max_local_error",
+             "max_propagated_error", "cancellations", "nonfinite", "kind")
+
+
+class ProfileError(ReproError):
+    """A numerical-profile artifact could not be read or validated."""
+
+
+def _clean(value: float) -> float:
+    """JSON has no inf/nan; clamp to large-but-representable sentinels."""
+    if value != value:                       # NaN
+        return -1.0
+    if value == float("inf"):
+        return 1.0e308
+    if value == float("-inf"):
+        return -1.0e308
+    return float(value)
+
+
+@dataclass
+class NumericalProfile:
+    """One shadow-execution run's error statistics, ready to persist."""
+
+    model: str
+    model_kwargs: dict[str, Any]
+    #: The primary-side precision assignment the shadow run used, as
+    #: ``qualified -> kind`` (the float64 reference side is implicit).
+    assignment: dict[str, int]
+    #: Atom names of the model's search space, in space order.
+    atom_names: tuple[str, ...]
+    #: ``qualified -> stats`` for every real variable observed.
+    variables: dict[str, dict[str, float]]
+    #: ``"scope:line" -> stats`` for every assignment statement observed.
+    statements: dict[str, dict[str, float]]
+    #: Engine-level counters (assignments, cancellations, nonfinite, ...).
+    counters: dict[str, int]
+    #: Simulated node-seconds charged for the profiling run (a fixed
+    #: multiple of the model's nominal runtime — never measured wall
+    #: time, so campaign accounting stays deterministic).
+    sim_seconds: float
+    format: int = PROFILE_FORMAT
+    _blame: Optional[tuple[tuple[str, float], ...]] = field(
+        default=None, repr=False, compare=False)
+
+    # -- blame ranking ------------------------------------------------------
+
+    def blame(self) -> list[tuple[str, float]]:
+        """Atoms ranked most-blamed first: ``(qualified, score)`` pairs.
+
+        The score is the variable's maximum relative error against the
+        float64 reference (0.0 for atoms the run never observed);
+        ties break on the qualified name so the ranking is total and
+        deterministic.
+        """
+        if self._blame is None:
+            scored = sorted(
+                ((q, self.score_of(q)) for q in self.atom_names),
+                key=lambda pair: (-pair[1], pair[0]))
+            self._blame = tuple(scored)
+        return list(self._blame)
+
+    def score_of(self, qualified: str) -> float:
+        stats = self.variables.get(qualified)
+        if not stats:
+            return 0.0
+        return float(stats.get("max_rel_error", 0.0))
+
+    def ranked_atoms(self) -> list[str]:
+        """Atom names, most-blamed first."""
+        return [q for q, _score in self.blame()]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "format": self.format,
+            "model": self.model,
+            "model_kwargs": self.model_kwargs,
+            "assignment": self.assignment,
+            "atom_names": list(self.atom_names),
+            "variables": {
+                q: {k: _clean(v) if isinstance(v, float) else v
+                    for k, v in stats.items()}
+                for q, stats in self.variables.items()
+            },
+            "statements": {
+                s: {k: _clean(v) if isinstance(v, float) else v
+                    for k, v in stats.items()}
+                for s, stats in self.statements.items()
+            },
+            "counters": dict(self.counters),
+            "sim_seconds": float(self.sim_seconds),
+            "blame": [[q, _clean(s)] for q, s in self.blame()],
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable serialization (the determinism contract)."""
+        return json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Provenance fingerprint over the canonical serialization."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the artifact (tmp + rename, journal-style)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(self.to_json() + "\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "NumericalProfile":
+        fmt = payload.get("format")
+        if fmt != PROFILE_FORMAT:
+            raise ProfileError(
+                f"unsupported numerical-profile format {fmt!r} "
+                f"(this build reads format {PROFILE_FORMAT})")
+        try:
+            return cls(
+                model=payload["model"],
+                model_kwargs=dict(payload.get("model_kwargs", {})),
+                assignment={str(k): int(v)
+                            for k, v in payload["assignment"].items()},
+                atom_names=tuple(payload["atom_names"]),
+                variables={str(k): dict(v)
+                           for k, v in payload["variables"].items()},
+                statements={str(k): dict(v)
+                            for k, v in payload["statements"].items()},
+                counters={str(k): int(v)
+                          for k, v in payload["counters"].items()},
+                sim_seconds=float(payload["sim_seconds"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(
+                f"malformed numerical profile: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str | Path) -> "NumericalProfile":
+        path = Path(path)
+        if not path.exists():
+            raise ProfileError(
+                f"no numerical profile at {path}; generate one with "
+                f"`repro profile MODEL --numerics --out {path}`")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ProfileError(
+                f"unreadable numerical profile {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProfileError(f"{path} is not a profile document")
+        return cls.from_payload(payload)

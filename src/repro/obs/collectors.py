@@ -11,7 +11,8 @@ trace directory, ``CampaignResult.metrics``):
   (fresh / memory / disk / replay / worker-failure): the cache-hit-rate
   numerator and denominator;
 * ``repro_sim_seconds_total{stage=...}`` — simulated node-seconds
-  charged per pipeline stage (preprocess / transform / compile / run);
+  charged per pipeline stage (preprocess / profile / transform /
+  compile / run);
 * ``repro_worker_retries_total`` / ``repro_worker_failures_total`` /
   ``repro_backoff_seconds_total`` — fault-tolerance activity;
 * ``repro_batches_total``, ``repro_batch_sim_seconds`` (histogram),
@@ -23,9 +24,9 @@ trace directory, ``CampaignResult.metrics``):
 from __future__ import annotations
 
 from .bus import EventBus
-from .events import (BatchCompleted, CampaignFinished, PreprocessingDone,
-                     VariantEvaluated, WorkerBackoff, WorkerFailure,
-                     WorkerRetry)
+from .events import (BatchCompleted, CacheWarnings, CampaignFinished,
+                     PreprocessingDone, ProfileComputed, VariantEvaluated,
+                     WorkerBackoff, WorkerFailure, WorkerRetry)
 from .metrics import MetricsRegistry
 
 __all__ = ["MetricsCollector"]
@@ -39,7 +40,8 @@ class MetricsCollector:
 
     def attach(self, bus: EventBus) -> None:
         bus.subscribe(self, (VariantEvaluated, BatchCompleted,
-                             PreprocessingDone, WorkerRetry, WorkerBackoff,
+                             PreprocessingDone, ProfileComputed,
+                             CacheWarnings, WorkerRetry, WorkerBackoff,
                              WorkerFailure, CampaignFinished))
 
     # ------------------------------------------------------------------
@@ -86,6 +88,17 @@ class MetricsCollector:
             reg.counter("repro_sim_seconds_total",
                         "simulated node-seconds by pipeline stage",
                         stage="preprocess").inc(event.sim_seconds)
+        elif isinstance(event, ProfileComputed):
+            reg.counter("repro_sim_seconds_total",
+                        "simulated node-seconds by pipeline stage",
+                        stage="profile").inc(event.sim_seconds)
+            reg.counter("repro_profiles_total",
+                        "numerical profiles resolved, by provenance",
+                        source=event.source).inc()
+        elif isinstance(event, CacheWarnings):
+            reg.counter("repro_cache_warnings_total",
+                        "unreadable entries skipped while loading the "
+                        "persistent result cache").inc(event.count)
         elif isinstance(event, WorkerRetry):
             pass  # aggregated via BatchCompleted.telemetry.retries
         elif isinstance(event, WorkerBackoff):

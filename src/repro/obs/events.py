@@ -22,9 +22,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
-    "CampaignStarted", "PreprocessingDone", "BatchStarted",
-    "BatchCompleted", "VariantEvaluated", "WorkerRetry", "WorkerBackoff",
-    "WorkerFailure", "CampaignFinished",
+    "CampaignStarted", "PreprocessingDone", "ProfileComputed",
+    "CacheWarnings", "BatchStarted", "BatchCompleted", "VariantEvaluated",
+    "WorkerRetry", "WorkerBackoff", "WorkerFailure", "CampaignFinished",
 ]
 
 
@@ -48,6 +48,34 @@ class PreprocessingDone:
     model: str
     sim_seconds: float
     note: str = ""
+
+
+@dataclass(frozen=True)
+class ProfileComputed:
+    """A shadow-execution numerical profile (:mod:`repro.numerics`) was
+    resolved for the campaign.  ``source`` states where it came from:
+    ``"computed"`` (a fresh shadow run, charged ``sim_seconds`` against
+    the budget), ``"loaded"`` (deserialized from
+    ``CampaignConfig.profile_path``, ~0 cost), or ``"injected"``
+    (already installed on the algorithm by the caller)."""
+
+    model: str
+    source: str
+    digest: str
+    sim_seconds: float
+    variables: int
+    cancellations: int
+
+
+@dataclass(frozen=True)
+class CacheWarnings:
+    """The persistent result cache skipped unreadable entries while
+    loading.  Surfaced as an event (and in ``repro tune`` / ``repro
+    trace`` output) so silent cache corruption cannot silently change a
+    campaign's cost profile."""
+
+    count: int
+    warnings: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

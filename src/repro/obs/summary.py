@@ -23,8 +23,9 @@ from .tracing import load_trace
 __all__ = ["StageTotals", "TraceSummary", "summarize_trace"]
 
 #: Stage-span names charged against the simulated budget, in pipeline
-#: order (T0 then the per-variant T1→T3 stages).
-SUMMARY_STAGES = ("preprocess", "transform", "compile", "run")
+#: order (T0, the one-time shadow-execution numerical profile, then the
+#: per-variant T1→T3 stages).
+SUMMARY_STAGES = ("preprocess", "profile", "transform", "compile", "run")
 
 
 @dataclass
@@ -50,6 +51,9 @@ class TraceSummary:
     #: itself reported spending (wall budget ledger + preprocessing).
     campaign_sim_seconds: float = 0.0
     campaign_wall_seconds: float = 0.0
+    #: Result-cache load warnings recorded in the trace (unreadable
+    #: entries skipped); ``repro trace`` prints them.
+    cache_warnings: list[str] = field(default_factory=list)
 
     @property
     def stage_sim_total(self) -> float:
@@ -88,4 +92,7 @@ def summarize_trace(trace_dir: str | Path) -> TraceSummary:
         elif name == "campaign":
             summary.campaign_sim_seconds += sim
             summary.campaign_wall_seconds += wall
+        elif name == "cache_warnings":
+            summary.cache_warnings.extend(
+                entry.get("attrs", {}).get("warnings", []))
     return summary

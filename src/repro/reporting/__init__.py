@@ -3,12 +3,14 @@
 from .diffs import variant_diff, variant_source
 from .figures import (FigureSeries, ScatterPoint, ascii_scatter,
                       procedure_series, scatter_from_records, to_csv)
-from .tables import (PAPER_TABLE2, Table1Row, render_table1, render_table2,
-                     render_trace_summary, table1, table2_rows)
+from .tables import (PAPER_TABLE2, Table1Row, render_numerics_profile,
+                     render_table1, render_table2, render_trace_summary,
+                     table1, table2_rows)
 
 __all__ = [
     "variant_diff", "variant_source", "FigureSeries", "ScatterPoint",
     "ascii_scatter", "procedure_series", "scatter_from_records", "to_csv",
-    "PAPER_TABLE2", "Table1Row", "render_table1", "render_table2",
-    "render_trace_summary", "table1", "table2_rows",
+    "PAPER_TABLE2", "Table1Row", "render_numerics_profile",
+    "render_table1", "render_table2", "render_trace_summary", "table1",
+    "table2_rows",
 ]

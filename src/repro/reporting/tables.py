@@ -19,7 +19,8 @@ from ..perf.machine import DERECHO, MachineModel
 from ..perf.timers import time_execution
 
 __all__ = ["Table1Row", "table1", "render_table1", "table2_rows",
-           "render_table2", "render_trace_summary", "PAPER_TABLE2"]
+           "render_table2", "render_trace_summary",
+           "render_numerics_profile", "PAPER_TABLE2"]
 
 
 @dataclass(frozen=True)
@@ -156,4 +157,44 @@ def render_trace_summary(summary: TraceSummary) -> str:
             f"campaign accounting: {summary.campaign_sim_seconds:.1f} sim "
             f"seconds ({summary.campaign_wall_seconds:.2f}s wall); "
             f"stage totals within {summary.mismatch_pct():.3f}%")
+    if summary.cache_warnings:
+        lines.append(f"cache warnings ({len(summary.cache_warnings)}):")
+        for warning in summary.cache_warnings:
+            lines.append(f"  {warning}")
+    return "\n".join(lines)
+
+
+def render_numerics_profile(profile, top: int = 10) -> str:
+    """The ``repro profile --numerics`` blame table.
+
+    One row per tuned atom, most-blamed first: the shadow execution's
+    maximum relative error against the float64 reference, the worst
+    ulp distance, how much of the error is introduced locally (vs
+    inherited from operands), and cancellation events — the CHEF-FP
+    style report that tells an operator *which* variables carry the
+    model's sensitivity before any search is run.
+    """
+    rows = profile.blame()[:top] if top else profile.blame()
+    lines = [
+        f"Numerical profile: {profile.model} "
+        f"(format {profile.format}, digest {profile.digest()})",
+        f"{len(profile.variables)} variables, "
+        f"{len(profile.statements)} statements, "
+        f"{profile.counters.get('assignments', 0)} shadowed assignments; "
+        f"simulated profiling cost {profile.sim_seconds:.1f}s",
+        "",
+        f"{'Atom':34s} {'Max rel err':>12s} {'Max ulp':>10s} "
+        f"{'Local':>12s} {'Cancel':>7s}",
+        "-" * 80,
+    ]
+    for qualified, score in rows:
+        stats = profile.variables.get(qualified, {})
+        lines.append(
+            f"{qualified:34s} {score:>12.3e} "
+            f"{stats.get('max_ulp_error', 0.0):>10.1f} "
+            f"{stats.get('max_local_error', 0.0):>12.3e} "
+            f"{stats.get('cancellations', 0):>7d}")
+    remaining = len(profile.blame()) - len(rows)
+    if remaining > 0:
+        lines.append(f"... and {remaining} more (raise --top)")
     return "\n".join(lines)

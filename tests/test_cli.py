@@ -1,6 +1,7 @@
 """CLI tests: every command end-to-end on the funarc case."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -158,3 +159,123 @@ class TestObservability:
     def test_tune_resume_requires_journal_dir(self, capsys):
         with pytest.raises(SystemExit, match="--journal-dir"):
             run_cli(capsys, "tune", "funarc", "--resume")
+
+
+class TestNumericsProfiling:
+    """The PR-4 surface: profile --numerics, tune --algorithm profile /
+    --profile, cache-warning surfacing, and the trace exit code."""
+
+    def test_profile_numerics_blame_table(self, capsys):
+        code, out = run_cli(capsys, "profile", "funarc", "--numerics")
+        assert code == 0
+        assert "Numerical profile: funarc" in out
+        assert "Max rel err" in out
+        # The blame table leads with the paper's critical accumulator.
+        first_row = next(line for line in out.splitlines()
+                         if line.startswith("funarc_mod::"))
+        assert first_row.startswith("funarc_mod::funarc::s1")
+
+    def test_profile_numerics_out_roundtrips(self, capsys, tmp_path):
+        from repro.numerics import NumericalProfile
+        path = tmp_path / "prof.json"
+        code, out = run_cli(capsys, "profile", "funarc", "--numerics",
+                            "--out", str(path))
+        assert code == 0
+        assert f"profile written to {path}" in out
+        profile = NumericalProfile.load(path)
+        assert profile.model == "funarc"
+        assert profile.digest() in out
+
+    def test_plain_profile_unchanged(self, capsys):
+        code, out = run_cli(capsys, "profile", "funarc")
+        assert code == 0
+        assert "hotspot CPU share" in out
+        assert "Numerical profile" not in out
+
+    def test_tune_profile_algorithm(self, capsys, tmp_path):
+        path = tmp_path / "prof.json"
+        code, out = run_cli(capsys, "tune", "funarc",
+                            "--algorithm", "profile",
+                            "--profile", str(path))
+        assert code == 0
+        assert "numerical profile: computed" in out
+        assert "1-minimal variant" in out
+        assert "funarc_mod::funarc::s1" in out
+
+        # Rerun: the persisted profile is loaded at zero charge.
+        code, out = run_cli(capsys, "tune", "funarc",
+                            "--algorithm", "profile",
+                            "--profile", str(path))
+        assert code == 0
+        assert "numerical profile: loaded" in out
+        assert "0.0 sim seconds charged" in out
+
+    def test_tune_json_carries_profile_provenance(self, capsys):
+        code, out, err = run_cli_both(capsys, "tune", "funarc",
+                                      "--algorithm", "profile", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["execution"]["profile"]["source"] == "computed"
+        assert payload["execution"]["profile"]["digest"]
+        assert payload["metrics"]["sim_seconds_by_stage"]["profile"] == 25.0
+
+    def test_tune_surfaces_cache_load_warnings(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _out = run_cli(capsys, "tune", "funarc", "--max-evals", "60",
+                             "--cache-dir", cache_dir)
+        assert code == 0
+        (cache_file,) = Path(cache_dir).glob("variants-*.jsonl")
+        with cache_file.open("a") as fh:
+            fh.write('{"torn..\n')
+        code, out = run_cli(capsys, "tune", "funarc", "--max-evals", "60",
+                            "--cache-dir", cache_dir)
+        assert code == 0
+        assert "cache warning:" in out
+        assert "unparseable JSON" in out
+
+    def test_trace_surfaces_cache_warnings(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        trace_dir = str(tmp_path / "trace")
+        code, _out = run_cli(capsys, "tune", "funarc", "--max-evals", "60",
+                             "--cache-dir", cache_dir)
+        assert code == 0
+        (cache_file,) = Path(cache_dir).glob("variants-*.jsonl")
+        with cache_file.open("a") as fh:
+            fh.write("not json\n")
+        code, _out = run_cli(capsys, "tune", "funarc", "--max-evals", "60",
+                             "--cache-dir", cache_dir,
+                             "--trace-dir", trace_dir)
+        assert code == 0
+        code, out = run_cli(capsys, "trace", trace_dir)
+        assert code == 0
+        assert "cache warnings (1):" in out
+        assert "unparseable JSON" in out
+
+    def test_trace_exits_nonzero_on_reconciliation_mismatch(
+            self, capsys, tmp_path):
+        trace_dir = tmp_path / "trace"
+        trace_dir.mkdir()
+        lines = [
+            {"type": "header", "format": 1},
+            {"type": "span", "id": 1, "parent": None, "name": "campaign",
+             "wall_seconds": 1.0, "sim_seconds": 100.0, "attrs": {}},
+            {"type": "span", "id": 2, "parent": 1, "name": "run",
+             "wall_seconds": 0.5, "sim_seconds": 50.0, "attrs": {}},
+        ]
+        (trace_dir / "trace.jsonl").write_text(
+            "\n".join(json.dumps(entry) for entry in lines) + "\n")
+        code, out, err = run_cli_both(capsys, "trace", str(trace_dir))
+        assert code == 1
+        assert "stage totals within 50.000%" in out
+        assert "diverge from campaign accounting" in err
+
+    def test_healthy_profile_trace_exits_zero(self, capsys, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        code, _out = run_cli(capsys, "tune", "funarc",
+                             "--algorithm", "profile",
+                             "--trace-dir", trace_dir)
+        assert code == 0
+        code, out = run_cli(capsys, "trace", trace_dir)
+        assert code == 0
+        assert "profile" in out
+        assert "stage totals within 0.000%" in out

@@ -1,0 +1,193 @@
+"""Shadow-execution numerical profiler tests (repro.numerics).
+
+The contract under test has two halves:
+
+* **Transparency** — the shadow engine's primary side is the plain
+  interpreter: bit-identical observables and identical operation-ledger
+  charges for every model case, at every assignment.  The profile is a
+  pure observer.
+* **Determinism** — a profile is a versioned artifact: byte-identical
+  JSON across repeated runs and across campaign worker counts, so its
+  digest can participate in journal fingerprints.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.fortran import OutBox, analyze, analyze_program, parse_source
+from repro.models import build_model
+from repro.numerics import (CANCEL_BITS, NumericalProfile, ProfileError,
+                            ShadowInterpreter, profile_model,
+                            profile_sim_seconds)
+
+ALL_MODELS = ["funarc", "mpas-a", "adcirc", "mom6"]
+
+
+def shadow_factory(index, **kwargs):
+    return ShadowInterpreter(index, **kwargs)
+
+
+class TestShadowEquivalence:
+    """The primary side of a shadow run IS the plain interpreter."""
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_all_double_bit_identical(self, name):
+        model = build_model(name)
+        assignment = model.space.all_double()
+        plain = model.run(assignment)
+        shadow = model.run(assignment, interpreter_factory=shadow_factory)
+        assert np.array_equal(plain.observable, shadow.observable)
+        assert plain.ledger.total_ops == shadow.ledger.total_ops
+
+    def test_all_single_bit_identical(self):
+        model = build_model("funarc")
+        assignment = model.space.all_single()
+        plain = model.run(assignment)
+        shadow = model.run(assignment, interpreter_factory=shadow_factory)
+        assert np.array_equal(plain.observable, shadow.observable)
+        assert plain.ledger.total_ops == shadow.ledger.total_ops
+
+    def test_declared_kinds_bit_identical(self):
+        model = build_model("funarc")
+        plain = model.run(None)
+        shadow = model.run(None, interpreter_factory=shadow_factory)
+        assert np.array_equal(plain.observable, shadow.observable)
+        assert plain.ledger.total_ops == shadow.ledger.total_ops
+
+    def test_mixed_assignment_bit_identical(self):
+        model = build_model("funarc")
+        # The paper's 1-minimal variant: only the accumulator stays wide.
+        assignment = model.space.baseline().lower_all(
+            [q for q in model.space.atom_names()
+             if q != "funarc_mod::funarc::s1"])
+        plain = model.run(assignment)
+        shadow = model.run(assignment, interpreter_factory=shadow_factory)
+        assert np.array_equal(plain.observable, shadow.observable)
+        assert plain.ledger.total_ops == shadow.ledger.total_ops
+
+
+CANCEL_SRC = """
+subroutine cancel_demo(out)
+  implicit none
+  real(kind=4) :: a, b, c
+  real(kind=8), intent(out) :: out
+  a = 1.0 + 2.0e-6
+  b = 1.0
+  c = a - b
+  out = c
+end subroutine cancel_demo
+"""
+
+
+def run_shadow(src, proc, args):
+    index = analyze(parse_source(src))
+    interp = ShadowInterpreter(index, vec_info=analyze_program(index))
+    interp.call(proc, args)
+    return interp.recorder
+
+
+class TestRecorder:
+    def test_catastrophic_cancellation_detected(self):
+        rec = run_shadow(CANCEL_SRC, "cancel_demo", [OutBox(None)])
+        counters = rec.counters_dict()
+        assert counters["cancellations"] == 1
+        variables = rec.variables_dict()
+        # The subtraction result carries the event; its operands do not.
+        assert variables["cancel_demo::c"]["cancellations"] == 1
+        assert variables["cancel_demo::a"]["cancellations"] == 0
+
+    def test_local_vs_propagated_decomposition(self):
+        rec = run_shadow(CANCEL_SRC, "cancel_demo", [OutBox(None)])
+        variables = rec.variables_dict()
+        # `a` holds a freshly rounded literal sum: pure local error.
+        a = variables["cancel_demo::a"]
+        assert a["max_local_error"] == pytest.approx(a["max_rel_error"])
+        assert a["max_propagated_error"] == 0.0
+        # `c` computes exactly on its stored operands: the cancellation
+        # amplifies *inherited* rounding, so its error is propagated.
+        c = variables["cancel_demo::c"]
+        assert c["max_local_error"] == 0.0
+        assert c["max_propagated_error"] == pytest.approx(
+            c["max_rel_error"])
+        # Cancellation blew a ~1e-8 operand rounding up by ~2**CANCEL_BITS.
+        assert c["max_rel_error"] > a["max_rel_error"] * 2 ** (CANCEL_BITS - 2)
+
+    def test_funarc_observations_cover_all_atoms(self):
+        model = build_model("funarc")
+        profile = profile_model(model)
+        observed = {q for q, score in profile.blame() if score > 0.0}
+        # Every atom except the dead store d1 accumulates error.
+        assert observed == set(model.space.atom_names()) - {
+            "funarc_mod::fun::d1"}
+
+
+class TestProfileArtifact:
+    def test_byte_identical_across_runs(self):
+        model = build_model("funarc")
+        first = profile_model(model)
+        second = profile_model(build_model("funarc"))
+        assert first.to_json() == second.to_json()
+        assert first.digest() == second.digest()
+
+    def test_sim_seconds_accounting(self):
+        model = build_model("funarc")
+        profile = profile_model(model)
+        # compile once + shadow run at 3x the nominal runtime.
+        assert profile.sim_seconds == pytest.approx(
+            model.compile_seconds + 3.0 * model.nominal_runtime_seconds)
+        assert profile_sim_seconds(model) == profile.sim_seconds
+
+    def test_save_load_roundtrip(self, tmp_path):
+        profile = profile_model(build_model("funarc"))
+        path = tmp_path / "prof.json"
+        profile.save(path)
+        loaded = NumericalProfile.load(path)
+        assert loaded.to_json() == profile.to_json()
+        assert loaded.digest() == profile.digest()
+        assert loaded.ranked_atoms() == profile.ranked_atoms()
+
+    def test_load_missing_raises_profile_error(self, tmp_path):
+        with pytest.raises(ProfileError):
+            NumericalProfile.load(tmp_path / "absent.json")
+        assert issubclass(ProfileError, ReproError)
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        profile = profile_model(build_model("funarc"))
+        path = tmp_path / "prof.json"
+        payload = profile.to_payload()
+        payload["format"] = 99
+        import json
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ProfileError):
+            NumericalProfile.load(path)
+
+
+class TestBlameRanking:
+    def test_funarc_blames_the_accumulator(self):
+        """The paper's headline finding: the s1 accumulator carries the
+        model's sensitivity, everything else is safe to demote."""
+        model = build_model("funarc")
+        profile = profile_model(model)
+        ranked = profile.ranked_atoms()
+        assert ranked[0] == "funarc_mod::funarc::s1"
+        # s1's all-single error tops the ranking by a wide margin and
+        # sits above the acceptance threshold — which is what lets the
+        # profile-guided polish prune its singleton demotion unevaluated.
+        scores = dict(profile.blame())
+        s1 = scores["funarc_mod::funarc::s1"]
+        assert s1 > model.error_threshold
+        runner_up = max(v for q, v in scores.items()
+                        if q != "funarc_mod::funarc::s1")
+        assert s1 > 3 * runner_up
+
+    def test_ranking_is_total_and_deterministic(self):
+        profile = profile_model(build_model("funarc"))
+        ranked = profile.ranked_atoms()
+        assert sorted(ranked) == sorted(profile.atom_names)
+        scores = [score for _q, score in profile.blame()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_of_unknown_atom_is_zero(self):
+        profile = profile_model(build_model("funarc"))
+        assert profile.score_of("no::such::atom") == 0.0

@@ -1,0 +1,213 @@
+"""Profile-guided search tests: blame-ranked descent, pruning, and the
+campaign integration (profile provenance, budget charge, journal
+fingerprint).
+
+The headline acceptance number is pinned here: on funarc the
+profile-guided search reaches the same 1-minimal assignment as delta
+debugging in 2 dynamic evaluations instead of 28, and its total
+simulated spend *including the shadow-execution profile* stays strictly
+below vanilla delta debugging's.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import (CampaignConfig, DeltaDebugSearch,
+                        ProfileGuidedSearch, make_oracle, run_campaign)
+from repro.errors import JournalError, SearchError
+from repro.models import build_model
+from repro.numerics import profile_model
+from repro.obs import summarize_trace
+
+CONFIG = CampaignConfig(nodes=20)
+
+FUNARC_MINIMAL = "funarc_mod::funarc::s1"   # the only 64-bit survivor
+
+
+@pytest.fixture(scope="module")
+def funarc_profile():
+    return profile_model(build_model("funarc"))
+
+
+def run_search(algorithm):
+    model = build_model("funarc")
+    oracle = make_oracle(model, CONFIG)
+    result = algorithm.run(model.space, oracle)
+    return result, oracle
+
+
+class TestHeadlineSavings:
+    def test_fewer_evaluations_than_delta_debugging(self, funarc_profile):
+        model = build_model("funarc")
+        dd_result, dd_oracle = run_search(DeltaDebugSearch())
+        pg_result, pg_oracle = run_search(ProfileGuidedSearch(
+            profile=funarc_profile, prune_above=model.error_threshold))
+
+        # Identical 1-minimal destination...
+        assert pg_result.finished and dd_result.finished
+        assert pg_result.final.key() == dd_result.final.key()
+        assert sorted(pg_result.final.high()) == [FUNARC_MINIMAL]
+
+        # ... with the pinned trajectory costs: descent accepts at k=1
+        # (keep only s1) after one miss, and the polish round is fully
+        # pruned by the profile.
+        assert dd_result.evaluations == 28
+        assert dd_result.batches == 7
+        assert pg_result.evaluations == 2
+        assert pg_result.batches == 2
+        assert pg_result.pruned_singletons == 1
+
+        # Strictly cheaper even after paying for the profile itself.
+        pg_total = pg_oracle.wall_seconds_used + funarc_profile.sim_seconds
+        assert pg_total < dd_oracle.wall_seconds_used
+
+    def test_result_carries_profile_digest(self, funarc_profile):
+        result, _ = run_search(ProfileGuidedSearch(profile=funarc_profile))
+        assert result.profile_digest == funarc_profile.digest()
+        assert result.algorithm == "profile-guided"
+
+    def test_without_pruning_polish_is_cache_served(self, funarc_profile):
+        """Unpruned, the polish evaluates the s1 singleton demotion —
+        but that variant is the already-rejected uniform-32 point, so
+        the oracle serves it from memory at zero charge."""
+        pruned_result, pruned_oracle = run_search(ProfileGuidedSearch(
+            profile=funarc_profile,
+            prune_above=build_model("funarc").error_threshold))
+        plain_result, plain_oracle = run_search(ProfileGuidedSearch(
+            profile=funarc_profile))
+        assert plain_result.evaluations == 3
+        assert plain_result.pruned_singletons == 0
+        assert plain_result.final.key() == pruned_result.final.key()
+        assert plain_oracle.wall_seconds_used == pytest.approx(
+            pruned_oracle.wall_seconds_used)
+
+    def test_requires_a_profile(self):
+        model = build_model("funarc")
+        oracle = make_oracle(model, CONFIG)
+        with pytest.raises(SearchError):
+            ProfileGuidedSearch().run(model.space, oracle)
+
+
+class TestProfileAwareOrdering:
+    def test_ranker_accelerates_delta_debugging(self, funarc_profile):
+        """Sorting ddmin's candidate list safest-first clusters the
+        demotable atoms, so the very first half-partition is accepted."""
+        plain, _ = run_search(DeltaDebugSearch())
+        ranked, _ = run_search(DeltaDebugSearch(
+            atom_ranker=funarc_profile.score_of,
+            profile_digest=funarc_profile.digest()))
+        assert ranked.final.key() == plain.final.key()
+        assert ranked.evaluations < plain.evaluations
+        assert ranked.evaluations == 8
+
+    def test_ranker_excluded_from_fingerprint_but_digest_kept(
+            self, funarc_profile):
+        from repro.core.journal import algorithm_fingerprint
+        algo = DeltaDebugSearch(atom_ranker=funarc_profile.score_of,
+                                profile_digest=funarc_profile.digest())
+        params = algorithm_fingerprint(algo)["params"]
+        assert "atom_ranker" not in params
+        assert params["profile_digest"] == funarc_profile.digest()
+
+
+class TestCampaignIntegration:
+    def test_campaign_computes_charges_and_records_profile(self, tmp_path):
+        model = build_model("funarc")
+        trace_dir = str(tmp_path / "trace")
+        result = run_campaign(
+            model, CONFIG.overriding(trace_dir=trace_dir),
+            algorithm=ProfileGuidedSearch(
+                prune_above=model.error_threshold))
+        assert result.profile_source == "computed"
+        assert result.profile_digest
+        assert result.profile_sim_seconds == pytest.approx(25.0)
+        assert result.charged_profiling_seconds() == pytest.approx(25.0)
+        metrics = result.deterministic_metrics()
+        assert metrics["sim_seconds_by_stage"]["profile"] == pytest.approx(
+            25.0)
+        prom = result.metrics.render_prometheus()
+        assert 'repro_sim_seconds_total{stage="profile"} 25' in prom
+        assert 'repro_profiles_total{source="computed"} 1' in prom
+
+        summary = summarize_trace(trace_dir)
+        assert summary.stages["profile"].spans == 1
+        assert summary.stages["profile"].sim_seconds == pytest.approx(25.0)
+        assert summary.mismatch_pct() < 0.01
+
+    def test_profile_path_loads_at_zero_charge(self, tmp_path):
+        model = build_model("funarc")
+        path = str(tmp_path / "funarc-profile.json")
+        config = CONFIG.overriding(profile_path=path)
+        first = run_campaign(model, config,
+                             algorithm=ProfileGuidedSearch())
+        assert first.profile_source == "computed"
+        second = run_campaign(build_model("funarc"), config,
+                              algorithm=ProfileGuidedSearch())
+        assert second.profile_source == "loaded"
+        assert second.profile_digest == first.profile_digest
+        assert second.charged_profiling_seconds() == 0.0
+        # The deterministic payload uses the as-if profile cost, so the
+        # compute-vs-load distinction never leaks into it.
+        assert second.to_json() == first.to_json()
+
+    def test_profile_path_guides_plain_delta_debugging(self, tmp_path):
+        model = build_model("funarc")
+        path = str(tmp_path / "prof.json")
+        guided = run_campaign(model, CONFIG.overriding(profile_path=path),
+                              algorithm=DeltaDebugSearch())
+        unguided = run_campaign(build_model("funarc"), CONFIG,
+                                algorithm=DeltaDebugSearch())
+        assert unguided.profile_source == ""
+        assert guided.profile_source == "computed"
+        assert len(guided.records) < len(unguided.records)
+        assert guided.search.final.key() == unguided.search.final.key()
+
+    def test_profile_path_refuses_wrong_model(self, tmp_path):
+        from repro.errors import CampaignError
+        path = str(tmp_path / "prof.json")
+        profile_model(build_model("funarc")).save(path)
+        with pytest.raises(CampaignError):
+            run_campaign(build_model("mpas-a"),
+                         CONFIG.overriding(profile_path=path),
+                         algorithm=ProfileGuidedSearch())
+
+    def test_resume_validates_profile_digest(self, tmp_path, funarc_profile):
+        journal_dir = str(tmp_path / "journal")
+        config = CONFIG.overriding(journal_dir=journal_dir)
+        first = run_campaign(build_model("funarc"), config,
+                             algorithm=ProfileGuidedSearch(
+                                 profile=funarc_profile))
+        assert first.search.finished
+
+        # Same profile: the journal replays the whole campaign.
+        resumed = run_campaign(build_model("funarc"),
+                               config.overriding(resume=True),
+                               algorithm=ProfileGuidedSearch(
+                                   profile=funarc_profile))
+        assert resumed.to_json() == first.to_json()
+        # Nothing is re-evaluated: every variant is served from the
+        # journal replay (or the in-memory admissions it feeds).
+        assert sum(b.dispatched for b in resumed.oracle.telemetry) == 0
+        assert sum(b.replayed for b in resumed.oracle.telemetry) > 0
+
+        # A different guiding profile would walk a different trajectory:
+        # the fingerprint must refuse the journal.
+        doctored = dataclasses.replace(
+            funarc_profile,
+            counters=dict(funarc_profile.counters, assignments=1))
+        assert doctored.digest() != funarc_profile.digest()
+        with pytest.raises(JournalError):
+            run_campaign(build_model("funarc"),
+                         config.overriding(resume=True),
+                         algorithm=ProfileGuidedSearch(profile=doctored))
+
+    def test_profile_determinism_across_workers(self):
+        payloads = []
+        for workers in (1, 2):
+            result = run_campaign(
+                build_model("funarc"), CONFIG.overriding(workers=workers),
+                algorithm=ProfileGuidedSearch())
+            payloads.append((result.profile_digest, result.to_json()))
+        assert payloads[0] == payloads[1]
