@@ -54,6 +54,12 @@ def _execution_parent() -> argparse.ArgumentParser:
     g.add_argument("--cache-dir", default=None,
                    help="directory for the persistent variant-result "
                         "cache (reruns skip already-evaluated variants)")
+    g.add_argument("--backend", default="compiled",
+                   choices=["compiled", "tree"],
+                   help="Fortran execution backend (default: compiled — "
+                        "closure-lowered procedures; tree is the "
+                        "reference walker; results are bit-identical "
+                        "either way)")
     return p
 
 
@@ -219,7 +225,8 @@ def _cmd_assess(args) -> int:
             print(info.report())
     if args.probe or args.workers > 1 or args.cache_dir:
         config = CampaignConfig(workers=args.workers,
-                                cache_dir=args.cache_dir)
+                                cache_dir=args.cache_dir,
+                                backend=args.backend)
         oracle = make_oracle(case, config)
         try:
             records = oracle.evaluate_batch(
@@ -305,6 +312,7 @@ def _cmd_tune(args) -> int:
     config = CampaignConfig(
         wall_budget_seconds=args.budget_hours * 3600.0,
         max_evaluations=args.max_evals,
+        backend=args.backend,
         workers=args.workers,
         cache_dir=args.cache_dir,
         journal_dir=args.journal_dir,

@@ -68,6 +68,7 @@ class ResultCache:
         #: Corruption never raises — a crashed campaign must always be
         #: able to warm-start from whatever survived.
         self.load_warnings: list[str] = []
+        self._warned: set[str] = set()
         self._load()
 
     @classmethod
@@ -77,6 +78,20 @@ class ResultCache:
             evaluator.timeout_factor))
 
     # ------------------------------------------------------------------
+
+    def _warn(self, message: str) -> None:
+        """Record a load warning exactly once (order-preserving).
+
+        A resumed campaign re-reads the cache file the interrupted run
+        already read, so the same corrupt line would otherwise be
+        reported again every time the file is (re)loaded — duplicated
+        warnings in ``repro tune`` output and the ``CacheWarnings``
+        event for a single on-disk defect.
+        """
+        if message in self._warned:
+            return
+        self._warned.add(message)
+        self.load_warnings.append(message)
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -90,12 +105,12 @@ class ResultCache:
                 # Torn line from a writer killed mid-append.  Anything
                 # after it on disk is still parsed: a concurrent writer
                 # may have appended complete records past the tear.
-                self.load_warnings.append(
+                self._warn(
                     f"{self.path.name}:{lineno}: unparseable JSON "
                     f"(interrupted write?); entry skipped")
                 continue
             if not isinstance(entry, dict):
-                self.load_warnings.append(
+                self._warn(
                     f"{self.path.name}:{lineno}: not a cache entry; skipped")
                 continue
             if entry.get("context") != self.context:
@@ -104,7 +119,7 @@ class ResultCache:
             record = entry.get("record")
             if (not isinstance(key, list)
                     or not validate_record_dict(record)):
-                self.load_warnings.append(
+                self._warn(
                     f"{self.path.name}:{lineno}: malformed cache record; "
                     f"entry skipped")
                 continue
@@ -128,7 +143,7 @@ class ResultCache:
             # Structurally valid at load time but still undeserializable
             # (e.g. mangled proc_perf payload): treat as a miss — the
             # variant is simply re-evaluated.
-            self.load_warnings.append(
+            self._warn(
                 f"{self.path.name}: record for key {list(key)} "
                 f"undeserializable ({type(exc).__name__}); re-evaluating")
             del self._records[tuple(key)]

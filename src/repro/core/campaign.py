@@ -49,8 +49,8 @@ from typing import Callable, Optional
 from ..errors import CampaignError, ReproError
 from ..obs.bus import EventBus, subscribes_to
 from ..obs.collectors import MetricsCollector
-from ..obs.events import (BatchCompleted, BatchStarted, CacheWarnings,
-                          CampaignFinished, CampaignStarted,
+from ..obs.events import (BackendSelected, BatchCompleted, BatchStarted,
+                          CacheWarnings, CampaignFinished, CampaignStarted,
                           PreprocessingDone, ProfileComputed,
                           VariantEvaluated)
 from ..obs.metrics import MetricsRegistry
@@ -89,6 +89,13 @@ class CampaignConfig:
     seed: int = 2024              # the experiment seed (Eq.-1 noise draws)
 
     # -- real execution (repro.core.parallel / repro.core.cache) ----------
+    #: Fortran execution backend: ``"compiled"`` (closure-lowered, the
+    #: default) or ``"tree"`` (the reference walker).  Bit-identical by
+    #: contract, so the backend appears in neither the evaluation
+    #: context nor the journal trajectory fingerprint
+    #: (``repro.core.journal._TRAJECTORY_CONFIG_FIELDS``) — artifacts
+    #: written under one backend are valid under the other.
+    backend: str = "compiled"
     workers: int = 1                        # >1 fans batches out to processes
     cache_dir: Optional[str] = None         # persistent result cache location
     worker_timeout_seconds: float = 120.0   # hard per-variant wall timeout
@@ -491,7 +498,8 @@ def make_oracle(
     predate the config-first API)."""
     if evaluator is None:
         evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
-                              seed=config.seed if seed is None else seed)
+                              seed=config.seed if seed is None else seed,
+                              backend=config.backend)
     cache = None
     if config.cache_dir:
         cache = ResultCache.for_evaluator(config.cache_dir, evaluator)
@@ -753,7 +761,7 @@ def run_campaign(
                             "given (journal_dir / --journal-dir)")
     if evaluator is None:
         evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
-                              seed=config.seed)
+                              seed=config.seed, backend=config.backend)
     if algorithm is None:
         algorithm = DeltaDebugSearch(min_speedup=config.min_speedup)
 
@@ -818,6 +826,14 @@ def run_campaign(
         max_evaluations=config.max_evaluations,
         resumed_from_batch=resumed_from_batch,
     ))
+    backend = getattr(evaluator, "backend", config.backend)
+    bus.emit(BackendSelected(model=model.name, backend=backend,
+                             workers=config.workers))
+    # Compile-time counters are wall-side observability (they depend on
+    # process history through the shared code cache), so they go to the
+    # trace/metrics only — never into deterministic result JSON.
+    from ..fortran.compile import CODE_CACHE
+    compile_stats0 = CODE_CACHE.stats()
 
     try:
         with tracer.span("campaign", model=model.name) as campaign_span:
@@ -891,6 +907,17 @@ def run_campaign(
             finally:
                 if journal is not None:
                     journal.close()
+                compile_stats = CODE_CACHE.stats()
+                tracer.emit_span(
+                    "backend", wall_seconds=0.0, sim_seconds=0.0,
+                    attrs={"backend": backend,
+                           "procedures_compiled":
+                               compile_stats["procedures_compiled"]
+                               - compile_stats0["procedures_compiled"],
+                           "code_cache_hits":
+                               compile_stats["cache_hits"]
+                               - compile_stats0["cache_hits"],
+                           "code_cache_entries": compile_stats["entries"]})
                 campaign_span.set_sim(oracle.wall_seconds_used
                                       + preprocessing + profile_charge)
         bus.emit(CampaignFinished(

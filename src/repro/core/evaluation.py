@@ -34,8 +34,17 @@ from .assignment import PrecisionAssignment
 from .classification import Outcome
 from .metrics import speedup_eq1
 
-__all__ = ["STAGES", "ProcPerf", "VariantRecord", "Evaluator",
+__all__ = ["BACKENDS", "STAGES", "ProcPerf", "VariantRecord", "Evaluator",
            "evaluation_context"]
+
+#: Execution backends for the Fortran interpreter.  ``compiled`` lowers
+#: each procedure once into Python closures (see
+#: :mod:`repro.fortran.compile`); ``tree`` is the reference tree walker.
+#: Both are bit-identical in observables and ledger charges — the
+#: differential fuzz suite and the golden-digest tests pin this — so the
+#: backend deliberately does NOT appear in :func:`evaluation_context`:
+#: caches and journals written under one backend replay under the other.
+BACKENDS = ("compiled", "tree")
 
 #: The per-variant pipeline stages charged against the simulated
 #: budget, in the paper's T1→T3 order.  ``Evaluator.stage_timings``
@@ -129,18 +138,31 @@ class Evaluator:
         timeout_factor: float = 3.0,
         noise: Optional[NoiseModel] = None,
         seed: int = 2024,
+        backend: str = "compiled",
     ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})")
         self.model = model
         self.machine = machine
         self.timeout_factor = timeout_factor
         self.noise = noise if noise is not None else NoiseModel(
             rsd=model.noise_rsd, base_seed=seed)
         self.n_runs = model.n_runs
+        self.backend = backend
+        if backend == "compiled":
+            # Imported here: repro.fortran is a sibling package whose
+            # import is deferred until an evaluator actually needs it.
+            from ..fortran.compile import CompiledInterpreter
+            self._interpreter_factory = CompiledInterpreter
+        else:
+            self._interpreter_factory = None    # ModelCase default walker
         self._cache: dict[tuple[int, ...], VariantRecord] = {}
         self._next_id = 0
 
         # --- baseline execution -------------------------------------------
-        base = model.run(None)
+        base = model.run(None,
+                         interpreter_factory=self._interpreter_factory)
         self.baseline_observable = base.observable
         self.baseline_cost = self._price(base.ledger)
         self.baseline_total = self.baseline_cost.total_seconds
@@ -255,7 +277,9 @@ class Evaluator:
         parameters (model spec, machine, noise, timeout factor)."""
         frac = assignment.fraction_lowered
         try:
-            run = self.model.run(assignment, max_ops=self.op_cap)
+            run = self.model.run(
+                assignment, max_ops=self.op_cap,
+                interpreter_factory=self._interpreter_factory)
         except InterpreterLimitError as exc:
             return VariantRecord(
                 variant_id=vid, kinds=assignment.key(),

@@ -62,8 +62,10 @@ _JOURNAL_FILE = "journal.jsonl"
 _SNAPSHOT_FILE = "snapshot.json"
 
 #: CampaignConfig fields that shape the search trajectory.  Execution
-#: knobs (workers, cache_dir, timeouts, backoff) deliberately excluded:
-#: the engine guarantees bit-identical results across those.
+#: knobs (backend, workers, cache_dir, timeouts, backoff) deliberately
+#: excluded: the engine guarantees bit-identical results across those —
+#: a journal written under the compiled backend replays under the tree
+#: backend and vice versa.
 _TRAJECTORY_CONFIG_FIELDS = ("nodes", "wall_budget_seconds",
                              "timeout_factor", "min_speedup",
                              "max_evaluations")

@@ -77,6 +77,7 @@ class WorkerSpec:
     timeout_factor: float
     noise: NoiseModel
     fault: Optional[tuple[str, str]] = None   # (mode, argument)
+    backend: str = "compiled"                 # Fortran execution backend
 
 
 # Worker-process state, populated once per worker by _worker_init.
@@ -91,7 +92,7 @@ def _worker_init(spec: WorkerSpec) -> None:
     case = build_model(spec.model_name, **dict(spec.model_kwargs))
     _WORKER["evaluator"] = Evaluator(
         case, machine=spec.machine, timeout_factor=spec.timeout_factor,
-        noise=spec.noise)
+        noise=spec.noise, backend=spec.backend)
     _WORKER["atoms"] = case.space.atoms
     _WORKER["fault"] = spec.fault
 
@@ -156,7 +157,8 @@ class ParallelOracle(BudgetedOracle):
     ) -> "ParallelOracle":
         if evaluator is None:
             evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
-                                  seed=config.seed if seed is None else seed)
+                                  seed=config.seed if seed is None else seed,
+                                  backend=config.backend)
         name, kwargs = model.model_spec()
         spec = WorkerSpec(
             model_name=name,
@@ -165,6 +167,7 @@ class ParallelOracle(BudgetedOracle):
             timeout_factor=evaluator.timeout_factor,
             noise=evaluator.noise,
             fault=fault,
+            backend=getattr(evaluator, "backend", config.backend),
         )
         return cls(evaluator=evaluator, config=config, cache=cache,
                    workers=config.workers, spec=spec)

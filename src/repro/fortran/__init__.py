@@ -13,6 +13,7 @@ compilation:
 """
 
 from .ast_nodes import SourceFile
+from .compile import CODE_CACHE, CodeCache, CompiledInterpreter, source_digest
 from .instrumentation import Ledger, OpKey
 from .interpreter import Interpreter, OutBox, make_array
 from .parser import parse_source
@@ -25,7 +26,8 @@ from .vectorize import ProgramVecInfo, analyze_program
 from .wrappers import generate_wrappers
 
 __all__ = [
-    "SourceFile", "Ledger", "OpKey", "Interpreter", "OutBox", "make_array",
+    "SourceFile", "CODE_CACHE", "CodeCache", "CompiledInterpreter",
+    "source_digest", "Ledger", "OpKey", "Interpreter", "OutBox", "make_array",
     "parse_source", "KIND_DOUBLE", "KIND_SINGLE", "ProgramIndex", "Symbol",
     "analyze", "ReducedProgram", "reduce_program", "reinsert",
     "TransformResult", "apply_assignment", "transform_program", "unparse",

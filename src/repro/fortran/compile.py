@@ -1,0 +1,1990 @@
+"""Compiled execution backend: closure-lowered procedure bodies.
+
+The tree-walking :class:`~repro.fortran.interpreter.Interpreter` pays a
+dispatch, symbol-lookup and table-lookup cost at every AST node visit,
+on every execution.  This module removes that cost by *lowering* each
+procedure body once into a tree of Python closures — one closure per
+statement/expression node — resolving at compile time everything that
+is invariant across executions:
+
+* statement/expression dispatch (the closure *is* the handler),
+* symbol lookups (local slot vs. module frame vs. dynamic chain walk),
+* procedure/intrinsic resolution and intrinsic opclass selection,
+* literal values (NumPy scalars are built once),
+* static vectorization flags and the allocate-statement kinds implied
+  by the precision overlay.
+
+Runtime-dependent behaviour deliberately stays dynamic so the backend
+is *bit-identical* to the reference interpreter: operand kinds in
+expressions (values change kind at call boundaries), the
+``_devec_stmts`` set (wrapped calls devectorize their enclosing
+statement mid-run), ``_rhs_literal`` visibility in masked assignments,
+allocatable state, and the op-budget check at every statement boundary.
+Call binding, write-back, and local elaboration reuse the inherited
+tree-interpreter ``_invoke`` verbatim, so boundary-cast charges and
+wrapper semantics cannot drift by construction.
+
+Compiled bodies are cached in :data:`CODE_CACHE`, keyed by ``(source
+digest, procedure, restricted precision assignment)`` — the restriction
+keeps only overlay entries the procedure body can observe (its own
+scope, ancestor scopes, and module symbols), so delta-debug neighbors
+that differ only in *other* procedures' precisions share compiled code
+and skip re-lowering.
+
+The contract (pinned by ``tests/test_fuzz_differential.py``,
+``tests/test_backend_golden.py`` and the equivalence suite):
+observables, ledger charges, stdout, and error messages are
+bit-identical between backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import operator
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..errors import (FortranRuntimeError, FortranStopError,
+                      InterpreterLimitError)
+from . import ast_nodes as F
+from .instrumentation import OpKey
+from .interpreter import (_ARITH_CLASS, _BUDGET_CHECK_INTERVAL, _CMP_OPS,
+                          Frame, Interpreter, _CycleLoop, _ExitLoop,
+                          _ReturnSignal)
+from .intrinsics import INTRINSICS
+from .symbols import KIND_DOUBLE, KIND_SINGLE, ProgramIndex, Symbol
+from .unparser import unparse
+from .values import (FArray, cast_real, dtype_for_kind, element_count,
+                     kind_of, promote_kinds)
+
+__all__ = ["CompiledInterpreter", "CodeCache", "CODE_CACHE",
+           "source_digest", "relevant_overlay"]
+
+#: Subroutine names the interpreter implements natively (mirrors
+#: ``Interpreter._builtin_subs``; all of them charge an allreduce).
+_BUILTIN_SUBS = frozenset(
+    {"mpi_allreduce_sum", "mpi_allreduce_max", "mpi_allreduce_min"})
+
+_CMP_FNS: dict[str, Callable[[Any, Any], Any]] = {
+    "==": operator.eq,
+    "/=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITH_FNS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "**": operator.pow,
+}
+
+
+def _key_pairs(scope: str, opclass: str) -> dict:
+    """Precomputed ledger keys for one charge site.
+
+    Real kinds form a closed two-element universe (float32/float64 are
+    the only dtypes the value model constructs), so every dynamic
+    ``OpKey(scope, opclass, kind, vec)`` a site can ever need is one of
+    four instances.  Indexing ``pairs[kind][is_vec]`` replaces a
+    NamedTuple construction per charge with a dict lookup.
+    """
+    return {
+        KIND_SINGLE: (OpKey(scope, opclass, KIND_SINGLE, False),
+                      OpKey(scope, opclass, KIND_SINGLE, True)),
+        KIND_DOUBLE: (OpKey(scope, opclass, KIND_DOUBLE, False),
+                      OpKey(scope, opclass, KIND_DOUBLE, True)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+
+def source_digest(index: ProgramIndex) -> str:
+    """sha256 of the unparsed source, memoized on the index object."""
+    dig = getattr(index, "_compile_digest", None)
+    if dig is None:
+        dig = hashlib.sha256(unparse(index.source).encode()).hexdigest()
+        index._compile_digest = dig  # type: ignore[attr-defined]
+    return dig
+
+
+def relevant_overlay(index: ProgramIndex, qual: str,
+                     overlay: dict[str, int]) -> tuple[tuple[str, int], ...]:
+    """The overlay restricted to entries the body of *qual* can observe.
+
+    A compiled body consults the overlay only through allocate
+    statements, whose symbols resolve in the procedure's own scope, its
+    ancestor (host) scopes, or a module.  Entries for *other*
+    procedures' symbols cannot affect the lowered code, so they are
+    excluded from the cache key — delta-debug neighbors that differ
+    only there share compiled code.
+    """
+    if not overlay:
+        return ()
+    consulted = set(index.modules)
+    consulted.add(qual)
+    info = index.scopes.get(qual)
+    info = info.parent if info is not None else None
+    while info is not None:
+        consulted.add(info.name)
+        info = info.parent
+    items = [(q, k) for q, k in overlay.items()
+             if q.rsplit("::", 1)[0] in consulted]
+    items.sort()
+    return tuple(items)
+
+
+class CodeCache:
+    """Process-wide cache of lowered procedure bodies.
+
+    A bounded FIFO (so long campaigns cannot grow it without limit)
+    mapping ``(source digest, procedure, vec-analysis?, restricted
+    overlay)`` to the compiled body closure.  Counters feed the
+    observability layer; they never enter deterministic campaign
+    output.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = maxsize
+        self._entries: dict[tuple, Callable[[Any, Frame], None]] = {}
+        self.compiled = 0
+        self.hits = 0
+
+    def code_for(self, index: ProgramIndex, vec_info,
+                 overlay: dict[str, int],
+                 qual: str) -> Callable[[Any, Frame], None]:
+        key = (source_digest(index), qual, vec_info is not None,
+               relevant_overlay(index, qual, overlay))
+        body = self._entries.get(key)
+        if body is not None:
+            self.hits += 1
+            return body
+        scope_info = index.scopes[qual]
+        compiler = _ProcCompiler(index, vec_info, overlay, scope_info)
+        body = compiler.block(scope_info.node.body)
+        if len(self._entries) >= self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = body
+        self.compiled += 1
+        return body
+
+    def stats(self) -> dict[str, int]:
+        return {"procedures_compiled": self.compiled,
+                "cache_hits": self.hits,
+                "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.compiled = 0
+        self.hits = 0
+
+
+#: Default process-wide cache (each worker process gets its own copy).
+CODE_CACHE = CodeCache()
+
+
+# ---------------------------------------------------------------------------
+# Shared runtime helpers (semantics identical to the tree interpreter)
+# ---------------------------------------------------------------------------
+
+
+def _truth(value: Any) -> bool:
+    if isinstance(value, (FArray, np.ndarray)):
+        raise FortranRuntimeError("array used as scalar condition")
+    return bool(value)
+
+
+def _int_div(l: Any, r: Any) -> Any:
+    if isinstance(l, np.ndarray) or isinstance(r, np.ndarray):
+        return np.asarray(l) // np.asarray(r)
+    if r == 0:
+        raise FortranRuntimeError("integer division by zero")
+    return int(l / r) if (l < 0) != (r < 0) and l % r != 0 else l // r
+
+
+#: Scalar constructors per kind (identical to ``dtype_for_kind(k).type``).
+_SCALAR_CTOR = {KIND_SINGLE: np.float32, KIND_DOUBLE: np.float64}
+
+
+def _convert_like(I: Interpreter, store_keys: dict, convert_keys: dict,
+                  current: Any, value: Any) -> Any:
+    tc = type(current)
+    if tc is np.float64:
+        kd = KIND_DOUBLE
+    elif tc is np.float32:
+        kd = KIND_SINGLE
+    elif tc is bool:
+        return bool(value)
+    elif tc is int:
+        return int(value)
+    else:
+        kd = kind_of(current)
+    if kd is not None:
+        tv = type(value)
+        if tv is np.float64:
+            kv = KIND_DOUBLE
+        elif tv is np.float32:
+            kv = KIND_SINGLE
+        else:
+            kv = kind_of(value)
+            if kv is None:
+                value = float(value)
+                kv = kd
+        led = I.ledger
+        vec = I._cur_vec
+        if kv != kd and not I._rhs_literal:
+            led.ops[convert_keys[kd][vec]] += 1
+            led.total_ops += 1
+        led.ops[store_keys[kd][vec]] += 1
+        led.total_ops += 1
+        if kv == kd and (tv is np.float64 or tv is np.float32):
+            return value  # already the exact scalar dtype
+        if tv is FArray or tv is np.ndarray:
+            return cast_real(value, kd)
+        return _SCALAR_CTOR[kd](value)
+    if isinstance(current, bool):
+        return bool(value)
+    if isinstance(current, int):
+        return int(value)
+    if isinstance(current, str):
+        return str(value)
+    # Uninitialized slot (e.g. deallocated): store as-is.
+    return value
+
+
+def _assign_whole_array(I: Interpreter, store_keys: dict, convert_keys: dict,
+                        arr: FArray, value: Any) -> None:
+    raw = value.data if isinstance(value, FArray) else value
+    if isinstance(raw, np.ndarray) and raw.shape != arr.data.shape:
+        raise FortranRuntimeError(
+            f"shape mismatch in array assignment: {raw.shape} -> "
+            f"{arr.data.shape}"
+        )
+    ak = arr.kind
+    if ak is not None:
+        kv = kind_of(value)
+        led = I.ledger
+        n = arr.data.size
+        if kv is not None and kv != ak and not I._rhs_literal:
+            led.ops[convert_keys[ak][True]] += n
+            led.total_ops += n
+        led.ops[store_keys[ak][True]] += n
+        led.total_ops += n
+    arr.data[...] = raw
+
+
+def _assign_indexed(I: Interpreter, store_keys: dict, convert_keys: dict,
+                    arr: FArray, key: tuple, n: int, is_section: bool,
+                    value: Any) -> None:
+    ak = arr.kind
+    if ak is not None:
+        kv = kind_of(value)
+        led = I.ledger
+        vec = I._cur_vec or is_section
+        if kv is not None and kv != ak and not I._rhs_literal:
+            led.ops[convert_keys[ak][vec]] += n
+            led.total_ops += n
+        led.ops[store_keys[ak][vec]] += n
+        led.total_ops += n
+    raw = value.data if isinstance(value, FArray) else value
+    if is_section:
+        arr.data[key] = raw
+    else:
+        try:
+            arr.data[key] = raw
+        except IndexError:
+            raise FortranRuntimeError(
+                f"index {key} out of bounds for shape {arr.data.shape}"
+            ) from None
+
+
+def _array_ref(I: Interpreter, load_keys: dict, arr: FArray, key: tuple,
+               n: int, is_section: bool) -> Any:
+    ak = arr.kind
+    if ak is not None and I._suppress_loads == 0:
+        led = I.ledger
+        led.ops[load_keys[ak][I._cur_vec or is_section]] += n
+        led.total_ops += n
+    if is_section:
+        view = arr.data[key]
+        return FArray(view, (1,) * view.ndim, ak)
+    try:
+        val = arr.data[key]
+    except IndexError:
+        raise FortranRuntimeError(
+            f"index {key} out of bounds for shape {arr.data.shape}"
+        ) from None
+    if ak is not None:
+        return val
+    if arr.data.dtype == np.bool_:
+        return bool(val)
+    return int(val)
+
+
+def _raiser(exc_type, message: str):
+    def raise_it(*_ignored):
+        raise exc_type(message)
+    return raise_it
+
+
+def _chain_module_names(index: ProgramIndex, scope_info) -> list[str]:
+    """Module names in the exact order ``Interpreter._make_frame`` chains
+    their value dicts (host modules, used modules, then all modules)."""
+    chain: list[str] = []
+    parent = scope_info.parent
+    while parent is not None:
+        if parent.is_procedure:
+            parent = parent.parent
+            continue
+        chain.append(parent.name)
+        parent = parent.parent
+    for used in scope_info.uses:
+        if used in index.modules and used not in chain:
+            chain.append(used)
+    for mod in index.modules:
+        if mod not in chain:
+            chain.append(mod)
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Per-procedure compiler
+# ---------------------------------------------------------------------------
+
+
+class _ProcCompiler:
+    """Lowers one procedure's statements/expressions into closures.
+
+    Every closure takes ``(I, frame)`` — the executing interpreter and
+    the activation record — so compiled code is shared across
+    interpreter instances (and thus across runs and campaign variants
+    whose restricted overlays agree).
+    """
+
+    def __init__(self, index: ProgramIndex, vec_info, overlay: dict[str, int],
+                 scope_info):
+        self.index = index
+        self.vec_info = vec_info
+        self.overlay = overlay
+        self.scope_info = scope_info
+        self.scope = scope_info.name
+        self.chain_modules = _chain_module_names(index, scope_info)
+        self.stmt_flags = (vec_info.stmt_vec(self.scope)
+                           if vec_info is not None else {})
+        self._key_tables: dict[str, dict] = {}
+
+    def _keys(self, opclass: str) -> dict:
+        """Per-procedure memo of :func:`_key_pairs` tables."""
+        tab = self._key_tables.get(opclass)
+        if tab is None:
+            tab = self._key_tables[opclass] = _key_pairs(self.scope, opclass)
+        return tab
+
+    # -- symbol categorization ------------------------------------------
+
+    def _eff_kind(self, sym: Symbol) -> Optional[int]:
+        if sym.type_ != "real":
+            return sym.kind
+        return self.overlay.get(sym.qualified, sym.kind)
+
+    def _category(self, name: str) -> tuple[str, Optional[str]]:
+        """Where ``frame.find`` would locate *name*: the local values
+        dict, a module frame (first in chain order), or unknown (only
+        undeclared do-loop scalars land there at runtime, and they live
+        in ``frame.values``)."""
+        if name in self.scope_info.symbols:
+            return "local", None
+        for mod in self.chain_modules:
+            minfo = self.index.modules.get(mod)
+            if minfo is not None and name in minfo.symbols:
+                return "module", mod
+        return "dynamic", None
+
+    def _scalar_symbol(self, name: str) -> Optional[Symbol]:
+        """The declared scalar symbol a Name resolves to, if any."""
+        sym = self.scope_info.symbols.get(name)
+        if sym is None:
+            for mod in self.chain_modules:
+                minfo = self.index.modules.get(mod)
+                if minfo is not None and name in minfo.symbols:
+                    sym = minfo.symbols[name]
+                    break
+        if sym is None or sym.is_array or sym.type_ == "derived":
+            return None
+        return sym
+
+    def _static_type(self, e: F.Expr) -> Optional[str]:
+        """``"int"``/``"bool"`` when *e* provably evaluates to a Python
+        int/bool scalar (kind ``None`` — charge-free in the cost model).
+
+        Integer precision is never tuned, so declared integer scalars
+        always hold Python ints (bind-time ``int(value)``, assignment
+        ``int(value)``, do-loop induction).  Expressions over them take
+        the reference interpreter's free integer path; the compiler can
+        drop the dynamic kind dispatch entirely.
+        """
+        t = type(e)
+        if t is F.IntLit:
+            return "int"
+        if t is F.LogicalLit:
+            return "bool"
+        if t is F.Name:
+            sym = self._scalar_symbol(e.name)
+            if sym is None:
+                return None
+            if sym.type_ == "integer":
+                return "int"
+            if sym.type_ == "logical":
+                return "bool"
+            return None
+        if t is F.UnaryOp:
+            inner = self._static_type(e.operand)
+            if e.op in ("-", "+"):
+                return "int" if inner == "int" else None
+            if e.op == ".not.":
+                return "bool" if inner is not None else None
+            return None
+        if t is F.BinOp:
+            lt = self._static_type(e.left)
+            if lt is None:
+                return None
+            rt = self._static_type(e.right)
+            if rt is None:
+                return None
+            if e.op in _CMP_OPS or e.op in (".and.", ".or.",
+                                            ".eqv.", ".neqv."):
+                return "bool"
+            if lt == "int" and rt == "int" and e.op in _ARITH_FNS:
+                return "int"
+            return None
+        return None
+
+    def _fetch(self, name: str):
+        """Compiled ``frame.find(name)`` (same error message)."""
+        cat, mod = self._category(name)
+        if cat == "local":
+            return lambda I, frame: frame.values[name]
+        if cat == "module":
+            return lambda I, frame: I._module_frames[mod].values[name]
+        return lambda I, frame: frame.find(name)
+
+    def _slot(self, name: str):
+        """Compiled ``frame.find_slot(name)`` (same error message)."""
+        cat, mod = self._category(name)
+        if cat == "local":
+            return lambda I, frame: frame.values
+        if cat == "module":
+            return lambda I, frame: I._module_frames[mod].values
+        return lambda I, frame: frame.find_slot(name)
+
+    def _vec_closure(self, stmt):
+        """Compiled ``Interpreter._stmt_vec`` for one statement."""
+        sid = id(stmt)
+        static_vec = self.stmt_flags.get(sid, False)
+
+        def vec(I, frame):
+            if sid in I._devec_stmts:
+                return False
+            return static_vec or frame.vec_inherit
+        return vec
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, e: F.Expr):
+        t = type(e)
+        if t is F.IntLit:
+            v = e.value
+            return lambda I, frame: v
+        if t is F.RealLit:
+            v = dtype_for_kind(e.kind).type(e.value)
+            return lambda I, frame: v
+        if t is F.LogicalLit:
+            v = e.value
+            return lambda I, frame: v
+        if t is F.StringLit:
+            v = e.value
+            return lambda I, frame: v
+        if t is F.Name:
+            return self._compile_name(e.name)
+        if t is F.UnaryOp:
+            return self._compile_unary(e)
+        if t is F.BinOp:
+            return self._compile_binop(e)
+        if t is F.Apply:
+            return self._compile_apply(e)
+        if t is F.ComponentRef:
+            return self._compile_component(e)
+        if t is F.ArrayCons:
+            return self._compile_array_cons(e)
+        if t is F.RangeExpr:
+            return _raiser(FortranRuntimeError,
+                           "array section outside a subscript")
+        if t is F.KeywordArg:
+            return _raiser(FortranRuntimeError,
+                           "keyword argument in invalid position")
+        return _raiser(FortranRuntimeError,
+                       f"cannot evaluate {type(e).__name__}")
+
+    def _compile_name(self, name: str):
+        cat, mod = self._category(name)
+        sym = self._scalar_symbol(name)
+        if sym is not None and sym.type_ in ("integer", "logical",
+                                             "character"):
+            # Non-real scalar: kind is None, the reference interpreter
+            # never charges a load — the closure is a bare slot read.
+            if cat == "local":
+                return lambda I, frame: frame.values[name]
+            if cat == "module":
+                return lambda I, frame: I._module_frames[mod].values[name]
+        load_keys = self._keys("load")
+        key_f64 = load_keys[KIND_DOUBLE]
+        key_f32 = load_keys[KIND_SINGLE]
+        if cat == "local":
+            def ev(I, frame):
+                val = frame.values[name]
+                if I._suppress_loads == 0:
+                    tv = type(val)
+                    if tv is np.float64:
+                        led = I.ledger
+                        led.ops[key_f64[I._cur_vec]] += 1
+                        led.total_ops += 1
+                    elif tv is np.float32:
+                        led = I.ledger
+                        led.ops[key_f32[I._cur_vec]] += 1
+                        led.total_ops += 1
+                    elif tv is FArray:
+                        k = val.kind
+                        if k is not None:
+                            n = val.data.size
+                            led = I.ledger
+                            led.ops[load_keys[k][True]] += n
+                            led.total_ops += n
+                    elif tv is not int and tv is not bool:
+                        k = kind_of(val)
+                        if k is not None:
+                            n = element_count(val)
+                            led = I.ledger
+                            led.ops[load_keys[k][I._cur_vec]] += n
+                            led.total_ops += n
+                return val
+            return ev
+        if cat == "module":
+            def ev(I, frame):
+                val = I._module_frames[mod].values[name]
+                if I._suppress_loads == 0:
+                    tv = type(val)
+                    if tv is np.float64:
+                        led = I.ledger
+                        led.ops[key_f64[I._cur_vec]] += 1
+                        led.total_ops += 1
+                    elif tv is np.float32:
+                        led = I.ledger
+                        led.ops[key_f32[I._cur_vec]] += 1
+                        led.total_ops += 1
+                    elif tv is FArray:
+                        k = val.kind
+                        if k is not None:
+                            n = val.data.size
+                            led = I.ledger
+                            led.ops[load_keys[k][True]] += n
+                            led.total_ops += n
+                    elif tv is not int and tv is not bool:
+                        k = kind_of(val)
+                        if k is not None:
+                            n = element_count(val)
+                            led = I.ledger
+                            led.ops[load_keys[k][I._cur_vec]] += n
+                            led.total_ops += n
+                return val
+            return ev
+
+        def ev(I, frame):
+            val = frame.find(name)
+            if I._suppress_loads == 0:
+                k = kind_of(val)
+                if k is not None:
+                    n = element_count(val)
+                    led = I.ledger
+                    led.ops[load_keys[k][
+                        I._cur_vec or isinstance(val, FArray)]] += n
+                    led.total_ops += n
+            return val
+        return ev
+
+    def _slot_or_const(self, e: F.Expr):
+        """``("s", name)`` for a charge-free local scalar Name,
+        ``("c", value)`` for an int/logical literal, else None.
+
+        These operands a parent closure can read inline — one frame-dict
+        lookup or a captured constant — without changing charges: the
+        reference interpreter never charges loads for non-real scalars
+        or literals.
+        """
+        t = type(e)
+        if t is F.IntLit or t is F.LogicalLit:
+            return ("c", e.value)
+        if t is F.Name:
+            cat, _ = self._category(e.name)
+            if cat == "local":
+                sym = self._scalar_symbol(e.name)
+                if sym is not None and sym.type_ in (
+                        "integer", "logical", "character"):
+                    return ("s", e.name)
+        return None
+
+    def _compile_unary(self, e: F.UnaryOp):
+        op = e.op
+        ov = self.expr(e.operand)
+        if op == ".not.":
+            return lambda I, frame: not _truth(ov(I, frame))
+        if op == "+":
+            return ov
+        if self._static_type(e.operand) == "int":
+            # Free integer negation (kind None, never a bool).
+            return lambda I, frame: -ov(I, frame)
+        arith_keys = self._keys("arith")
+
+        def ev(I, frame):
+            val = ov(I, frame)
+            raw = val.data if isinstance(val, FArray) else val
+            out = -raw
+            k = kind_of(val)
+            if k is not None:
+                n = element_count(val)
+                led = I.ledger
+                led.ops[arith_keys[k][
+                    I._cur_vec or isinstance(val, FArray)]] += n
+                led.total_ops += n
+            if isinstance(val, FArray):
+                return FArray(out, val.lbounds, val.kind)
+            if isinstance(val, bool):
+                raise FortranRuntimeError("negation of a logical value")
+            return out if k is not None else int(out)
+        return ev
+
+    def _compile_binop(self, e: F.BinOp):
+        op = e.op
+        lev, rev = self.expr(e.left), self.expr(e.right)
+        if op == ".and.":
+            def ev(I, frame):
+                if not _truth(lev(I, frame)):
+                    return False
+                return _truth(rev(I, frame))
+            return ev
+        if op == ".or.":
+            def ev(I, frame):
+                if _truth(lev(I, frame)):
+                    return True
+                return _truth(rev(I, frame))
+            return ev
+        if op in (".eqv.", ".neqv."):
+            want_eq = op == ".eqv."
+
+            def ev(I, frame):
+                left = _truth(lev(I, frame))
+                right = _truth(rev(I, frame))
+                return left == right if want_eq else left != right
+            return ev
+
+        if (self._static_type(e.left) is not None
+                and self._static_type(e.right) is not None):
+            # Both operands are int/bool scalars: the reference
+            # interpreter's free integer path, with no kind dispatch.
+            fn = _CMP_FNS.get(op)
+            if fn is None:
+                fn = _int_div if op == "/" else _ARITH_FNS[op]
+            # Loop-control idioms (``i + 1``, ``i <= n``) dominate this
+            # path; reading slot/constant operands inline skips their
+            # leaf closure calls.
+            lk = self._slot_or_const(e.left)
+            rk = self._slot_or_const(e.right)
+            if lk is not None and rk is not None:
+                lt, lv = lk
+                rt, rv = rk
+                if lt == "s":
+                    if rt == "s":
+                        return lambda I, frame: fn(frame.values[lv],
+                                                   frame.values[rv])
+                    return lambda I, frame: fn(frame.values[lv], rv)
+                if rt == "s":
+                    return lambda I, frame: fn(lv, frame.values[rv])
+                return lambda I, frame: fn(lv, rv)
+            if lk is not None:
+                lt, lv = lk
+                if lt == "s":
+                    return lambda I, frame: fn(frame.values[lv],
+                                               rev(I, frame))
+                return lambda I, frame: fn(lv, rev(I, frame))
+            if rk is not None:
+                rt, rv = rk
+                if rt == "s":
+                    return lambda I, frame: fn(lev(I, frame),
+                                               frame.values[rv])
+                return lambda I, frame: fn(lev(I, frame), rv)
+            return lambda I, frame: fn(lev(I, frame), rev(I, frame))
+
+        # A literal operand promotes for free (the compiler folds the
+        # constant); only variable operands charge a convert.
+        left_lit = isinstance(e.left, (F.RealLit, F.IntLit))
+        right_lit = isinstance(e.right, (F.RealLit, F.IntLit))
+        is_cmp = op in _CMP_OPS
+        fn = _CMP_FNS[op] if is_cmp else _ARITH_FNS[op]
+        op_keys = self._keys("cmp" if is_cmp else _ARITH_CLASS[op])
+        convert_keys = self._keys("convert")
+        if is_cmp:
+            def int_fn(l, r):
+                out = fn(l, r)
+                if isinstance(out, np.ndarray):
+                    return out
+                return bool(out)
+        elif op == "/":
+            int_fn = _int_div
+        else:
+            int_fn = fn
+
+        if left_lit or right_lit:
+            return self._compile_binop_lit(
+                e, lev, rev, left_lit, right_lit, fn, int_fn, is_cmp,
+                op_keys, convert_keys)
+
+        def ev(I, frame):
+            left = lev(I, frame)
+            right = rev(I, frame)
+            tl = type(left)
+            if tl is FArray:
+                kl = left.kind
+                lraw = left.data
+                nl = lraw.size
+            elif tl is np.float64:
+                kl = KIND_DOUBLE
+                lraw = left
+                nl = 1
+            elif tl is np.float32:
+                kl = KIND_SINGLE
+                lraw = left
+                nl = 1
+            elif tl is int or tl is bool:
+                kl = None
+                lraw = left
+                nl = 1
+            else:
+                kl = kind_of(left)
+                lraw = left
+                nl = element_count(left)
+            tr = type(right)
+            if tr is FArray:
+                kr = right.kind
+                rraw = right.data
+                nr = rraw.size
+            elif tr is np.float64:
+                kr = KIND_DOUBLE
+                rraw = right
+                nr = 1
+            elif tr is np.float32:
+                kr = KIND_SINGLE
+                rraw = right
+                nr = 1
+            elif tr is int or tr is bool:
+                kr = None
+                rraw = right
+                nr = 1
+            else:
+                kr = kind_of(right)
+                rraw = right
+                nr = element_count(right)
+            if kl is None:
+                if kr is None:
+                    # Pure integer (or logical-comparison) arithmetic:
+                    # free in the cost model (address math).
+                    return int_fn(lraw, rraw)
+                wide = kr
+            elif kr is None or kl >= kr:
+                wide = kl
+            else:
+                wide = kr
+            n = nr if nr > nl else nl
+            is_vec = I._cur_vec or n > 1
+            led = I.ledger
+            if kl is not None and kr is not None and kl != kr:
+                if kl < kr:
+                    if not left_lit:
+                        led.ops[convert_keys[wide][is_vec]] += nl
+                        led.total_ops += nl
+                elif not right_lit:
+                    led.ops[convert_keys[wide][is_vec]] += nr
+                    led.total_ops += nr
+            led.ops[op_keys[wide][is_vec]] += n
+            led.total_ops += n
+            out = fn(lraw, rraw)
+            if is_cmp and not isinstance(out, np.ndarray):
+                out = bool(out)
+            template = left if tl is FArray else (
+                right if tr is FArray else None)
+            if template is not None and isinstance(out, np.ndarray):
+                return FArray(out, template.lbounds, kind_of(out))
+            if type(out) is np.bool_:
+                return bool(out)
+            return out
+        return ev
+
+    def _compile_binop_lit(self, e, lev, rev, left_lit, right_lit,
+                           fn, int_fn, is_cmp, op_keys, convert_keys):
+        """Binop with at least one literal operand.
+
+        A literal's kind and value are compile-time constants, so the
+        closure skips the leaf evaluation and half of the per-visit kind
+        dispatch the general path pays.  Charges stay identical to the
+        tree backend: literals never charge loads or converts, and the
+        variable side charges a convert exactly when it is narrower than
+        the literal's kind.
+        """
+        def lit(node):
+            if type(node) is F.IntLit:
+                return None, node.value
+            v = dtype_for_kind(node.kind).type(node.value)
+            return kind_of(v), v
+
+        if left_lit and right_lit:
+            kl, lraw = lit(e.left)
+            kr, rraw = lit(e.right)
+            if kl is None and kr is None:
+                return lambda I, frame: int_fn(lraw, rraw)
+            wide = kl if (kr is None or (kl is not None and kl >= kr)) \
+                else kr
+            keys = op_keys[wide]
+
+            def ev(I, frame):
+                led = I.ledger
+                led.ops[keys[I._cur_vec]] += 1
+                led.total_ops += 1
+                out = fn(lraw, rraw)
+                if is_cmp or type(out) is np.bool_:
+                    return bool(out)
+                return out
+            return ev
+
+        if right_lit:
+            kc, craw = lit(e.right)
+            vev = lev
+        else:
+            kc, craw = lit(e.left)
+            vev = rev
+        lit_on_right = right_lit
+
+        if kc is None:
+            # Integer literal: charges no convert and never widens the
+            # variable operand's kind.
+            def ev(I, frame):
+                val = vev(I, frame)
+                tv = type(val)
+                if tv is FArray:
+                    kv = val.kind
+                    vraw = val.data
+                    n = vraw.size
+                elif tv is np.float64:
+                    kv, vraw, n = KIND_DOUBLE, val, 1
+                elif tv is np.float32:
+                    kv, vraw, n = KIND_SINGLE, val, 1
+                elif tv is int or tv is bool:
+                    kv, vraw, n = None, val, 1
+                else:
+                    kv = kind_of(val)
+                    vraw = val
+                    n = element_count(val)
+                if kv is None:
+                    return (int_fn(vraw, craw) if lit_on_right
+                            else int_fn(craw, vraw))
+                is_vec = I._cur_vec or n > 1
+                led = I.ledger
+                led.ops[op_keys[kv][is_vec]] += n
+                led.total_ops += n
+                out = (fn(vraw, craw) if lit_on_right
+                       else fn(craw, vraw))
+                if is_cmp and not isinstance(out, np.ndarray):
+                    out = bool(out)
+                if tv is FArray and isinstance(out, np.ndarray):
+                    return FArray(out, val.lbounds, kind_of(out))
+                if type(out) is np.bool_:
+                    return bool(out)
+                return out
+            return ev
+
+        def ev(I, frame):
+            val = vev(I, frame)
+            tv = type(val)
+            if tv is FArray:
+                kv = val.kind
+                vraw = val.data
+                n = vraw.size
+            elif tv is np.float64:
+                kv, vraw, n = KIND_DOUBLE, val, 1
+            elif tv is np.float32:
+                kv, vraw, n = KIND_SINGLE, val, 1
+            elif tv is int or tv is bool:
+                kv, vraw, n = None, val, 1
+            else:
+                kv = kind_of(val)
+                vraw = val
+                n = element_count(val)
+            wide = kc if (kv is None or kv < kc) else kv
+            is_vec = I._cur_vec or n > 1
+            led = I.ledger
+            if kv is not None and kv < kc:
+                led.ops[convert_keys[wide][is_vec]] += n
+                led.total_ops += n
+            led.ops[op_keys[wide][is_vec]] += n
+            led.total_ops += n
+            out = (fn(vraw, craw) if lit_on_right
+                   else fn(craw, vraw))
+            if is_cmp and not isinstance(out, np.ndarray):
+                out = bool(out)
+            if tv is FArray and isinstance(out, np.ndarray):
+                return FArray(out, val.lbounds, kind_of(out))
+            if type(out) is np.bool_:
+                return bool(out)
+            return out
+        return ev
+
+    # -- subscripts ------------------------------------------------------
+
+    def _compile_index_key(self, args: list[F.Expr]):
+        """Compiled ``Interpreter._index_key``: ``(I, frame, arr) ->
+        (key, n_elements, is_section)``."""
+        plans = []
+        for arg in args:
+            if isinstance(arg, F.RangeExpr):
+                plans.append(
+                    (True,
+                     self.expr(arg.lo) if arg.lo is not None else None,
+                     self.expr(arg.hi) if arg.hi is not None else None,
+                     self.expr(arg.step) if arg.step is not None else None))
+            else:
+                plans.append((False, self.expr(arg), None, None))
+        nargs = len(args)
+        if nargs == 1 and not plans[0][0]:
+            sk = self._slot_or_const(args[0])
+            if sk is not None and sk[0] == "s":
+                # ``a(i)`` with an integer local subscript — the hottest
+                # subscript shape by far: read the slot inline.
+                slot = sk[1]
+
+                def index_key1_slot(I, frame, arr):
+                    data = arr.data
+                    if data.ndim != 1:
+                        raise FortranRuntimeError(
+                            f"rank mismatch: 1 subscripts for "
+                            f"rank-{data.ndim} array"
+                        )
+                    idx_val = frame.values[slot]
+                    lb = arr.lbounds[0]
+                    if type(idx_val) is int:
+                        j = idx_val - lb
+                    elif isinstance(idx_val, (FArray, np.ndarray)):
+                        # Vector subscript (gather).
+                        raw = (idx_val.data if isinstance(idx_val, FArray)
+                               else idx_val)
+                        return ((raw.astype(np.int64) - lb,),
+                                int(raw.size), True)
+                    else:
+                        j = int(idx_val) - lb
+                    extent = data.shape[0]
+                    if j < 0 or j >= extent:
+                        raise FortranRuntimeError(
+                            f"index {int(idx_val)} out of bounds "
+                            f"[{lb}:{lb + extent - 1}]"
+                        )
+                    return (j,), 1, False
+                return index_key1_slot
+            idx_ev = plans[0][1]
+
+            def index_key1(I, frame, arr):
+                data = arr.data
+                if data.ndim != 1:
+                    raise FortranRuntimeError(
+                        f"rank mismatch: 1 subscripts for rank-{data.ndim} "
+                        "array"
+                    )
+                idx_val = idx_ev(I, frame)
+                lb = arr.lbounds[0]
+                if type(idx_val) is int:
+                    j = idx_val - lb
+                elif isinstance(idx_val, (FArray, np.ndarray)):
+                    # Vector subscript (gather).
+                    raw = (idx_val.data if isinstance(idx_val, FArray)
+                           else idx_val)
+                    return ((raw.astype(np.int64) - lb,), int(raw.size), True)
+                else:
+                    j = int(idx_val) - lb
+                extent = data.shape[0]
+                if j < 0 or j >= extent:
+                    raise FortranRuntimeError(
+                        f"index {int(idx_val)} out of bounds "
+                        f"[{lb}:{lb + extent - 1}]"
+                    )
+                return (j,), 1, False
+            return index_key1
+
+        def index_key(I, frame, arr):
+            if nargs != arr.data.ndim:
+                raise FortranRuntimeError(
+                    f"rank mismatch: {nargs} subscripts for "
+                    f"rank-{arr.data.ndim} array"
+                )
+            key: list[Any] = []
+            is_section = False
+            n_elements = 1
+            for (is_range, a, b, c), lb, extent in zip(plans, arr.lbounds,
+                                                       arr.data.shape):
+                if is_range:
+                    is_section = True
+                    lo = int(a(I, frame)) - lb if a is not None else 0
+                    hi = (int(b(I, frame)) - lb + 1 if b is not None
+                          else extent)
+                    step = int(c(I, frame)) if c is not None else 1
+                    if lo < 0 or hi > extent:
+                        raise FortranRuntimeError(
+                            f"section [{lo + lb}:{hi + lb - 1}] out of "
+                            f"bounds [{lb}:{lb + extent - 1}]"
+                        )
+                    count = max(0, (hi - lo + (step - 1)) // step)
+                    n_elements *= count
+                    key.append(slice(lo, hi, step))
+                else:
+                    idx_val = a(I, frame)
+                    if isinstance(idx_val, (FArray, np.ndarray)):
+                        # Vector subscript (gather).
+                        raw = (idx_val.data if isinstance(idx_val, FArray)
+                               else idx_val)
+                        is_section = True
+                        n_elements *= int(raw.size)
+                        key.append(raw.astype(np.int64) - lb)
+                    else:
+                        j = int(idx_val) - lb
+                        if j < 0 or j >= extent:
+                            raise FortranRuntimeError(
+                                f"index {int(idx_val)} out of bounds "
+                                f"[{lb}:{lb + extent - 1}]"
+                            )
+                        key.append(j)
+            return tuple(key), n_elements, is_section
+        return index_key
+
+    # -- calls -----------------------------------------------------------
+
+    def _compile_apply(self, e: F.Apply):
+        name = e.name
+        cat, _mod = self._category(name)
+        fallback = self._compile_apply_fallback(e)
+        if cat == "dynamic":
+            # Not a declared symbol: the only runtime values under this
+            # name are undeclared do-loop scalars, which the reference
+            # interpreter also falls through to procedure/intrinsic
+            # lookup for.
+            return fallback
+        fetch = None if cat == "local" else self._fetch(name)
+        index_key = self._compile_index_key(e.args)
+        load_keys = self._keys("load")
+
+        def ev(I, frame):
+            if fetch is None:
+                val = frame.values[name]
+            else:
+                val = fetch(I, frame)
+            if type(val) is FArray:
+                key, n, is_section = index_key(I, frame, val)
+                ak = val.kind
+                data = val.data
+                if ak is not None and I._suppress_loads == 0:
+                    led = I.ledger
+                    led.ops[load_keys[ak][I._cur_vec or is_section]] += n
+                    led.total_ops += n
+                if is_section:
+                    view = data[key]
+                    return FArray(view, (1,) * view.ndim, ak)
+                try:
+                    out = data[key]
+                except IndexError:
+                    raise FortranRuntimeError(
+                        f"index {key} out of bounds for shape {data.shape}"
+                    ) from None
+                if ak is not None:
+                    return out
+                if data.dtype == np.bool_:
+                    return bool(out)
+                return int(out)
+            if val is None:
+                raise FortranRuntimeError(
+                    f"use of unallocated array {name!r}"
+                )
+            return fallback(I, frame)
+        return ev
+
+    def _compile_apply_fallback(self, e: F.Apply):
+        """Procedure-or-intrinsic lookup for an Apply that is not an
+        array reference (steps 2-3 of ``_eval_apply``)."""
+        name = e.name
+        pscope = self.index.find_procedure(name)
+        if pscope is not None and isinstance(pscope.node, F.Function):
+            return self._compile_invoke(pscope, e.args)
+        intr = INTRINSICS.get(name)
+        if intr is not None:
+            return self._compile_intrinsic(intr, e)
+        return _raiser(FortranRuntimeError,
+                       f"unknown function or array {name!r}")
+
+    def _compile_invoke(self, pscope, args: list[F.Expr]):
+        """Compiled user-procedure call: evaluates actual-argument
+        references and delegates to the (inherited, tree) ``_invoke``
+        for binding, execution and write-back."""
+        proc = pscope.node
+        qual = pscope.name
+        scope = self.scope
+        if len(args) != len(proc.args):
+            return _raiser(
+                FortranRuntimeError,
+                f"{proc.name} expects {len(proc.args)} arguments, "
+                f"got {len(args)}")
+        refs = []
+        for a in args:
+            if isinstance(a, F.KeywordArg):
+                # The reference interpreter evaluates earlier references
+                # before rejecting the keyword; preserve the charges.
+                pre = list(refs)
+
+                def ev_kw(I, frame, _pre=pre):
+                    for r in _pre:
+                        r(I, frame)
+                    raise FortranRuntimeError(
+                        "keyword arguments to user procedures are not "
+                        "supported"
+                    )
+                return ev_kw
+            refs.append(self._compile_ref(a))
+
+        def ev(I, frame):
+            actuals = [r(I, frame) for r in refs]
+            return I._invoke(qual, proc, actuals, caller_scope=scope,
+                             vec_ctx=I._cur_vec)
+        return ev
+
+    def _compile_intrinsic(self, intr, e: F.Apply):
+        steps = []
+        for a in e.args:
+            if isinstance(a, F.KeywordArg):
+                steps.append((a.name, self.expr(a.value)))
+            else:
+                steps.append((None, self.expr(a)))
+        suppress = intr.opclass == "none"
+        fn = intr.fn
+        op_keys = None if suppress else self._keys(intr.opclass)
+
+        if not suppress and all(kwn is None for kwn, _ in steps):
+            # Positional-only charged intrinsic — the hot shape (sin,
+            # sqrt, min, abs...).  Same charges as the generic path with
+            # the kind/element lookups resolved by exact type.
+            evs = tuple(c for _, c in steps)
+
+            def ev_pos(I, frame):
+                args = [c(I, frame) for c in evs]
+                result = fn(*args)
+                n = 1
+                for a in args:
+                    ta = type(a)
+                    if ta is FArray:
+                        m = a.data.size
+                    elif isinstance(a, np.ndarray):
+                        m = int(a.size)
+                    else:
+                        m = 1
+                    if m > n:
+                        n = m
+                tr = type(result)
+                if tr is np.float64:
+                    k = KIND_DOUBLE
+                elif tr is np.float32:
+                    k = KIND_SINGLE
+                else:
+                    k = result.kind if tr is FArray else kind_of(result)
+                    if k is None:
+                        for a in args:
+                            ka = kind_of(a)
+                            if ka is not None:
+                                k = ka
+                                break
+                if k is not None:
+                    led = I.ledger
+                    led.ops[op_keys[k][I._cur_vec or n > 1]] += n
+                    led.total_ops += n
+                return result
+            return ev_pos
+
+        def ev(I, frame):
+            args: list[Any] = []
+            kwargs: dict[str, Any] = {}
+            if suppress:
+                I._suppress_loads += 1
+                try:
+                    for kwn, c in steps:
+                        if kwn is None:
+                            args.append(c(I, frame))
+                        else:
+                            kwargs[kwn] = c(I, frame)
+                finally:
+                    I._suppress_loads -= 1
+            else:
+                for kwn, c in steps:
+                    if kwn is None:
+                        args.append(c(I, frame))
+                    else:
+                        kwargs[kwn] = c(I, frame)
+            result = fn(*args, **kwargs)
+            if not suppress:
+                n = 1
+                for a in args:
+                    m = element_count(a)
+                    if m > n:
+                        n = m
+                k = kind_of(result)
+                if k is None:
+                    for a in args:
+                        ka = kind_of(a)
+                        if ka is not None:
+                            k = ka
+                            break
+                if k is not None:
+                    led = I.ledger
+                    led.ops[op_keys[k][I._cur_vec or n > 1]] += n
+                    led.total_ops += n
+            return result
+        return ev
+
+    # -- derived types ---------------------------------------------------
+
+    def _compile_component_base(self, e: F.ComponentRef):
+        base = e.base
+        if isinstance(base, F.Name):
+            fetch = self._fetch(base.name)
+        elif isinstance(base, F.ComponentRef):
+            inner = self._compile_component_base(base)
+            bcomp = base.component
+
+            def fetch(I, frame):
+                return inner(I, frame).get(bcomp)
+        else:
+            return _raiser(FortranRuntimeError,
+                           "arrays of derived type are not supported")
+
+        def base_fn(I, frame):
+            val = fetch(I, frame)
+            if not isinstance(val, dict):
+                raise FortranRuntimeError(
+                    "component access on non-derived value"
+                )
+            return val
+        return base_fn
+
+    def _compile_component(self, e: F.ComponentRef):
+        base_fn = self._compile_component_base(e)
+        comp = e.component
+        load_keys = self._keys("load")
+        if e.args is not None:
+            index_key = self._compile_index_key(e.args)
+
+            def ev(I, frame):
+                base = base_fn(I, frame)
+                if comp not in base:
+                    raise FortranRuntimeError(
+                        f"derived type has no component {comp!r}"
+                    )
+                val = base[comp]
+                if not isinstance(val, FArray):
+                    raise FortranRuntimeError(
+                        f"subscript on scalar component {comp!r}"
+                    )
+                key, n, is_section = index_key(I, frame, val)
+                return _array_ref(I, load_keys, val, key, n, is_section)
+            return ev
+
+        def ev(I, frame):
+            base = base_fn(I, frame)
+            if comp not in base:
+                raise FortranRuntimeError(
+                    f"derived type has no component {comp!r}"
+                )
+            val = base[comp]
+            k = None if isinstance(val, FArray) else kind_of(val)
+            if k is None:
+                return val
+            if I._suppress_loads == 0:
+                led = I.ledger
+                led.ops[load_keys[k][I._cur_vec]] += 1
+                led.total_ops += 1
+            return val
+        return ev
+
+    def _compile_array_cons(self, e: F.ArrayCons):
+        item_evs = [self.expr(i) for i in e.items]
+
+        def ev(I, frame):
+            items = [c(I, frame) for c in item_evs]
+            kinds = [kind_of(i) for i in items]
+            if any(k is not None for k in kinds):
+                kind = KIND_SINGLE
+                for k in kinds:
+                    if k is not None:
+                        kind = promote_kinds(kind, k)
+                data = np.array([float(i) for i in items],
+                                dtype=dtype_for_kind(kind))
+                return FArray(data, (1,), kind)
+            data = np.array([int(i) for i in items], dtype=np.int64)
+            return FArray(data, (1,), None)
+        return ev
+
+    # -- argument references (value, setter) -----------------------------
+
+    def _compile_ref(self, e: F.Expr):
+        """Compiled ``_eval_ref``: ``(I, frame) -> (value, setter)``."""
+        if isinstance(e, F.Name):
+            name = e.name
+            cat, mod = self._category(name)
+            if cat == "local":
+                def rf(I, frame):
+                    vals = frame.values
+                    val = vals[name]
+
+                    def set_name(new):
+                        cur = vals[name]
+                        if isinstance(cur, FArray) and isinstance(new, FArray):
+                            cur.data[...] = new.data.astype(cur.data.dtype)
+                        else:
+                            vals[name] = new
+                    return val, set_name
+                return rf
+            if cat == "module":
+                def rf(I, frame):
+                    vals = I._module_frames[mod].values
+                    val = vals[name]
+
+                    def set_name(new):
+                        cur = vals[name]
+                        if isinstance(cur, FArray) and isinstance(new, FArray):
+                            cur.data[...] = new.data.astype(cur.data.dtype)
+                        else:
+                            vals[name] = new
+                    return val, set_name
+                return rf
+
+            def rf(I, frame):
+                val = frame.find(name)
+                slot = frame.find_slot(name)
+
+                def set_name(new):
+                    cur = slot[name]
+                    if isinstance(cur, FArray) and isinstance(new, FArray):
+                        cur.data[...] = new.data.astype(cur.data.dtype)
+                    else:
+                        slot[name] = new
+                return val, set_name
+            return rf
+        if isinstance(e, F.Apply):
+            cat, _mod = self._category(e.name)
+            apply_ev = self._compile_apply(e)
+            if cat == "dynamic":
+                return lambda I, frame: (apply_ev(I, frame), None)
+            fetch = self._fetch(e.name)
+            index_key = self._compile_index_key(e.args)
+            load_keys = self._keys("load")
+
+            def rf(I, frame):
+                container = fetch(I, frame)
+                if isinstance(container, FArray):
+                    key, n, is_section = index_key(I, frame, container)
+                    if is_section:
+                        view = container.data[key]
+                        val = FArray(view, (1,) * view.ndim, container.kind)
+
+                        def set_section(new):
+                            raw = (new.data if isinstance(new, FArray)
+                                   else new)
+                            container.data[key] = raw
+                        return val, set_section
+                    val = container.data[key]
+
+                    def set_element(new):
+                        container.data[key] = new
+
+                    if (container.kind is not None
+                            and I._suppress_loads == 0):
+                        led = I.ledger
+                        led.ops[load_keys[container.kind][I._cur_vec]] += 1
+                        led.total_ops += 1
+                    return val, set_element
+                return apply_ev(I, frame), None
+            return rf
+        if isinstance(e, F.ComponentRef) and e.args is None:
+            base_fn = self._compile_component_base(e)
+            comp = e.component
+
+            def rf(I, frame):
+                base = base_fn(I, frame)
+                val = base.get(comp)
+
+                def set_comp(new):
+                    cur = base.get(comp)
+                    if isinstance(cur, FArray) and isinstance(new, FArray):
+                        cur.data[...] = new.data.astype(cur.data.dtype)
+                    else:
+                        base[comp] = new
+                return val, set_comp
+            return rf
+        ev = self.expr(e)
+        return lambda I, frame: (ev(I, frame), None)
+
+    # -- statements ------------------------------------------------------
+
+    def block(self, stmts: list[F.Stmt]):
+        """Compiled ``_exec_block``: budget tick + statement sequence."""
+        steps = [self.stmt(s) for s in stmts]
+        if len(steps) == 1:
+            step = steps[0]
+
+            def run1(I, frame):
+                I._stmt_tick += 1
+                if I._stmt_tick >= _BUDGET_CHECK_INTERVAL:
+                    I._stmt_tick = 0
+                    if (I.max_ops is not None
+                            and I.ledger.total_ops > I.max_ops):
+                        raise InterpreterLimitError(
+                            f"operation budget exceeded "
+                            f"({I.ledger.total_ops} > {I.max_ops})"
+                        )
+                step(I, frame)
+            return run1
+
+        def run(I, frame):
+            for step in steps:
+                I._stmt_tick += 1
+                if I._stmt_tick >= _BUDGET_CHECK_INTERVAL:
+                    I._stmt_tick = 0
+                    if (I.max_ops is not None
+                            and I.ledger.total_ops > I.max_ops):
+                        raise InterpreterLimitError(
+                            f"operation budget exceeded "
+                            f"({I.ledger.total_ops} > {I.max_ops})"
+                        )
+                step(I, frame)
+        return run
+
+    def stmt(self, s: F.Stmt):
+        t = type(s)
+        if t is F.Assignment:
+            return self._compile_assignment(s)
+        if t is F.CallStmt:
+            return self._compile_call_stmt(s)
+        if t is F.IfBlock:
+            return self._compile_if(s)
+        if t is F.SelectCase:
+            return self._compile_select(s)
+        if t is F.WhereConstruct:
+            return self._compile_where(s)
+        if t is F.DoLoop:
+            return self._compile_do(s)
+        if t is F.DoWhile:
+            return self._compile_do_while(s)
+        if t is F.ExitStmt:
+            return _raiser(_ExitLoop, "")
+        if t is F.CycleStmt:
+            return _raiser(_CycleLoop, "")
+        if t is F.ReturnStmt:
+            return _raiser(_ReturnSignal, "")
+        if t is F.StopStmt:
+            return self._compile_stop(s)
+        if t is F.PrintStmt:
+            return self._compile_print(s)
+        if t is F.AllocateStmt:
+            return self._compile_allocate(s)
+        if t is F.DeallocateStmt:
+            return self._compile_deallocate(s)
+        return _raiser(FortranRuntimeError,
+                       f"cannot execute statement {type(s).__name__}")
+
+    def _compile_assignment(self, s: F.Assignment):
+        sid = id(s)
+        static_vec = self.stmt_flags.get(sid, False)
+        rhs_lit = isinstance(s.value, (F.RealLit, F.IntLit))
+        value_ev = self.expr(s.value)
+        assign = self._compile_assign_target(s.target)
+
+        def ex(I, frame):
+            prev = I._cur_vec
+            prev_id = I._cur_stmt_id
+            prev_lit = I._rhs_literal
+            if sid in I._devec_stmts:
+                I._cur_vec = False
+            else:
+                I._cur_vec = static_vec or frame.vec_inherit
+            I._cur_stmt_id = sid
+            I._rhs_literal = rhs_lit
+            try:
+                assign(I, frame, value_ev(I, frame))
+            finally:
+                I._cur_vec = prev
+                I._cur_stmt_id = prev_id
+                I._rhs_literal = prev_lit
+        return ex
+
+    def _compile_assign_target(self, target: F.Expr):
+        """Compiled ``_assign``: ``(I, frame, value) -> None``."""
+        store_keys = self._keys("store")
+        convert_keys = self._keys("convert")
+        if isinstance(target, F.Name):
+            name = target.name
+            cat, _mod = self._category(name)
+            slot_fn = None if cat == "local" else self._slot(name)
+
+            def assign(I, frame, value):
+                slot = (frame.values if slot_fn is None
+                        else slot_fn(I, frame))
+                current = slot[name]
+                if isinstance(current, FArray):
+                    _assign_whole_array(I, store_keys, convert_keys,
+                                        current, value)
+                else:
+                    slot[name] = _convert_like(I, store_keys, convert_keys,
+                                               current, value)
+            return assign
+        if isinstance(target, F.Apply):
+            name = target.name
+            cat, _mod = self._category(name)
+            fetch = None if cat == "local" else self._fetch(name)
+            index_key = self._compile_index_key(target.args)
+
+            def assign(I, frame, value):
+                container = (frame.values[name] if fetch is None
+                             else fetch(I, frame))
+                if not isinstance(container, FArray):
+                    raise FortranRuntimeError(
+                        f"subscripted assignment to non-array {name!r}"
+                    )
+                key, n, is_section = index_key(I, frame, container)
+                _assign_indexed(I, store_keys, convert_keys, container,
+                                key, n, is_section, value)
+            return assign
+        if isinstance(target, F.ComponentRef):
+            base_fn = self._compile_component_base(target)
+            comp = target.component
+            if target.args is not None:
+                index_key = self._compile_index_key(target.args)
+
+                def assign(I, frame, value):
+                    base = base_fn(I, frame)
+                    arr = base.get(comp)
+                    if not isinstance(arr, FArray):
+                        raise FortranRuntimeError(
+                            f"subscripted assignment to non-array component "
+                            f"{comp!r}"
+                        )
+                    key, n, is_section = index_key(I, frame, arr)
+                    _assign_indexed(I, store_keys, convert_keys, arr, key, n,
+                                    is_section, value)
+                return assign
+
+            def assign(I, frame, value):
+                base = base_fn(I, frame)
+                cur = base.get(comp)
+                if isinstance(cur, FArray):
+                    _assign_whole_array(I, store_keys, convert_keys, cur,
+                                        value)
+                else:
+                    base[comp] = _convert_like(I, store_keys, convert_keys,
+                                               cur, value)
+            return assign
+        return _raiser(FortranRuntimeError,
+                       f"cannot assign to {type(target).__name__}")
+
+    def _compile_call_stmt(self, s: F.CallStmt):
+        sid = id(s)
+        vec = self._vec_closure(s)
+        if s.name in _BUILTIN_SUBS:
+            arg_evs = [self.expr(a) for a in s.args]
+
+            def ex(I, frame):
+                prev = I._cur_vec
+                prev_id = I._cur_stmt_id
+                I._cur_vec = vec(I, frame)
+                I._cur_stmt_id = sid
+                try:
+                    args = [ev(I, frame) for ev in arg_evs]
+                    if not args:
+                        raise FortranRuntimeError(
+                            "mpi_allreduce_* needs an argument")
+                    I.ledger.add_allreduce(frame.scope,
+                                           element_count(args[0]))
+                finally:
+                    I._cur_vec = prev
+                    I._cur_stmt_id = prev_id
+            return ex
+        pscope = self.index.find_procedure(s.name)
+        if pscope is None:
+            return _raiser(FortranRuntimeError,
+                           f"call to undefined subroutine {s.name!r}")
+        invoke = self._compile_invoke(pscope, s.args)
+
+        def ex(I, frame):
+            prev = I._cur_vec
+            prev_id = I._cur_stmt_id
+            I._cur_vec = vec(I, frame)
+            I._cur_stmt_id = sid
+            try:
+                invoke(I, frame)
+            finally:
+                I._cur_vec = prev
+                I._cur_stmt_id = prev_id
+        return ex
+
+    def _compile_if(self, s: F.IfBlock):
+        vec = self._vec_closure(s)
+        arms = []
+        for arm in s.arms:
+            cond_ev = self.expr(arm.cond) if arm.cond is not None else None
+            arms.append((cond_ev, self.block(arm.body)))
+
+        def ex(I, frame):
+            for cond_ev, body in arms:
+                if cond_ev is None:
+                    body(I, frame)
+                    return
+                prev = I._cur_vec
+                I._cur_vec = vec(I, frame)
+                try:
+                    cond = cond_ev(I, frame)
+                finally:
+                    I._cur_vec = prev
+                if _truth(cond):
+                    body(I, frame)
+                    return
+        return ex
+
+    def _compile_select(self, s: F.SelectCase):
+        selector_ev = self.expr(s.selector)
+        cases = []
+        for case in s.cases:
+            body = self.block(case.body)
+            if case.selectors is None:
+                cases.append((None, body))
+                continue
+            sels = []
+            for sel in case.selectors:
+                if sel.is_range:
+                    sels.append((True, self.expr(sel.lo), self.expr(sel.hi)))
+                else:
+                    sels.append((False, self.expr(sel.value), None))
+            cases.append((sels, body))
+
+        def ex(I, frame):
+            value = selector_ev(I, frame)
+            if isinstance(value, (FArray, np.ndarray)):
+                raise FortranRuntimeError(
+                    "select case selector must be scalar")
+            default = None
+            for sels, body in cases:
+                if sels is None:
+                    default = body
+                    continue
+                for is_range, a, b in sels:
+                    if is_range:
+                        lo = a(I, frame)
+                        hi = b(I, frame)
+                        if lo <= value <= hi:
+                            body(I, frame)
+                            return
+                    elif value == a(I, frame):
+                        body(I, frame)
+                        return
+            if default is not None:
+                default(I, frame)
+        return ex
+
+    def _compile_where(self, s: F.WhereConstruct):
+        arms = []
+        for arm in s.arms:
+            mask_ev = self.expr(arm.mask) if arm.mask is not None else None
+            inner = [self._compile_masked_assignment(st) for st in arm.body]
+            arms.append((mask_ev, inner))
+
+        def ex(I, frame):
+            prev = I._cur_vec
+            I._cur_vec = True  # masked array statements are vector ops
+            try:
+                remaining = None
+                for mask_ev, inner in arms:
+                    if mask_ev is not None:
+                        mask_val = mask_ev(I, frame)
+                        raw = (mask_val.data
+                               if isinstance(mask_val, FArray)
+                               else np.asarray(mask_val))
+                        if raw.dtype != np.bool_:
+                            raise FortranRuntimeError(
+                                "where mask must be a logical array")
+                        mask = raw if remaining is None else raw & remaining
+                    else:
+                        if remaining is None:
+                            raise FortranRuntimeError(
+                                "elsewhere without a preceding where mask")
+                        mask = remaining
+                    remaining = (~mask if remaining is None
+                                 else remaining & ~mask)
+                    for m in inner:
+                        m(I, frame, mask)
+            finally:
+                I._cur_vec = prev
+        return ex
+
+    def _compile_masked_assignment(self, s: F.Stmt):
+        if not isinstance(s, F.Assignment):
+            # The reference interpreter asserts this per executed arm.
+            return _raiser(AssertionError, "")
+        value_ev = self.expr(s.value)
+        target = s.target
+        store_keys = self._keys("store")
+        convert_keys = self._keys("convert")
+        if isinstance(target, (F.Name, F.Apply)):
+            fetch = self._fetch(target.name)
+        else:
+            def m(I, frame, mask):
+                value_ev(I, frame)
+                raise FortranRuntimeError("where assigns to whole arrays")
+            return m
+
+        def m(I, frame, mask):
+            value = value_ev(I, frame)
+            arr = fetch(I, frame)
+            if not isinstance(arr, FArray):
+                raise FortranRuntimeError("where target must be an array")
+            if arr.data.shape != mask.shape:
+                raise FortranRuntimeError(
+                    f"where mask shape {mask.shape} does not match target "
+                    f"shape {arr.data.shape}")
+            raw = value.data if isinstance(value, FArray) else value
+            n = int(mask.sum())
+            ak = arr.kind
+            if ak is not None:
+                kv = kind_of(value)
+                led = I.ledger
+                if kv is not None and kv != ak and not I._rhs_literal:
+                    led.ops[convert_keys[ak][True]] += n
+                    led.total_ops += n
+                led.ops[store_keys[ak][True]] += n
+                led.total_ops += n
+            if isinstance(raw, np.ndarray):
+                arr.data[mask] = raw[mask]
+            else:
+                arr.data[mask] = raw
+        return m
+
+    def _compile_do(self, s: F.DoLoop):
+        start_ev = self.expr(s.start)
+        stop_ev = self.expr(s.stop)
+        step_ev = self.expr(s.step) if s.step is not None else None
+        var = s.var
+        cat, mod = self._category(var)
+        body = self.block(s.body)
+
+        def ex(I, frame):
+            start = int(start_ev(I, frame))
+            stop = int(stop_ev(I, frame))
+            step = int(step_ev(I, frame)) if step_ev is not None else 1
+            if step == 0:
+                raise FortranRuntimeError("do-loop step is zero")
+            if cat == "module":
+                slot = I._module_frames[mod].values
+            else:
+                # Locals and undeclared loop scalars both live (and,
+                # for undeclared names, appear) in ``frame.values``.
+                slot = frame.values
+            i = start
+            if step > 0:
+                while i <= stop:
+                    slot[var] = i
+                    try:
+                        body(I, frame)
+                    except _CycleLoop:
+                        pass
+                    except _ExitLoop:
+                        break
+                    i += step
+            else:
+                while i >= stop:
+                    slot[var] = i
+                    try:
+                        body(I, frame)
+                    except _CycleLoop:
+                        pass
+                    except _ExitLoop:
+                        break
+                    i += step
+        return ex
+
+    def _compile_do_while(self, s: F.DoWhile):
+        cond_ev = self.expr(s.cond)
+        body = self.block(s.body)
+
+        def ex(I, frame):
+            while True:
+                prev = I._cur_vec
+                I._cur_vec = False
+                try:
+                    cond = cond_ev(I, frame)
+                finally:
+                    I._cur_vec = prev
+                if not _truth(cond):
+                    return
+                try:
+                    body(I, frame)
+                except _CycleLoop:
+                    continue
+                except _ExitLoop:
+                    return
+        return ex
+
+    def _compile_stop(self, s: F.StopStmt):
+        code_ev = self.expr(s.code) if s.code is not None else None
+        is_error = s.is_error
+        message = s.message or ""
+
+        def ex(I, frame):
+            code = int(code_ev(I, frame)) if code_ev is not None else 0
+            if is_error or code != 0:
+                raise FortranStopError(message, code=code or 1)
+            raise _ReturnSignal()  # plain STOP in a driver: quiet halt
+        return ex
+
+    def _compile_print(self, s: F.PrintStmt):
+        item_evs = [self.expr(i) for i in s.items]
+
+        def ex(I, frame):
+            parts = []
+            for ev in item_evs:
+                val = ev(I, frame)
+                if isinstance(val, FArray):
+                    parts.append(" ".join(str(x) for x in val.data.ravel()))
+                else:
+                    parts.append(str(val))
+            I.stdout.append(" ".join(parts))
+        return ex
+
+    def _compile_allocate(self, s: F.AllocateStmt):
+        items = []
+        for ap in s.items:
+            sym = self.index.resolve(self.scope, ap.name)
+            if sym is None:
+                items.append(
+                    _raiser(FortranRuntimeError,
+                            f"allocate of undeclared {ap.name!r}"))
+                continue
+            dims = []
+            for arg in ap.args:
+                if isinstance(arg, F.RangeExpr):
+                    dims.append((self.expr(arg.lo), self.expr(arg.hi)))
+                else:
+                    dims.append((None, self.expr(arg)))
+            kind = self._eff_kind(sym)
+            if sym.type_ == "real":
+                assert kind is not None
+                dtype, fkind = dtype_for_kind(kind), kind
+            elif sym.type_ == "integer":
+                dtype, fkind = np.int64, None
+            else:
+                dtype, fkind = np.bool_, None
+            slot_fn = self._slot(ap.name)
+            name = ap.name
+
+            def alloc(I, frame, _dims=dims, _dtype=dtype, _fkind=fkind,
+                      _slot_fn=slot_fn, _name=name):
+                shape = []
+                lbounds = []
+                for lo_ev, ub_ev in _dims:
+                    if lo_ev is not None:
+                        lb = int(lo_ev(I, frame))
+                        ub = int(ub_ev(I, frame))
+                    else:
+                        lb, ub = 1, int(ub_ev(I, frame))
+                    lbounds.append(lb)
+                    shape.append(max(0, ub - lb + 1))
+                arr = FArray(np.zeros(tuple(shape), dtype=_dtype),
+                             tuple(lbounds), _fkind)
+                _slot_fn(I, frame)[_name] = arr
+            items.append(alloc)
+
+        def ex(I, frame):
+            for item in items:
+                item(I, frame)
+        return ex
+
+    def _compile_deallocate(self, s: F.DeallocateStmt):
+        slots = [(name, self._slot(name)) for name in s.names]
+
+        def ex(I, frame):
+            for name, slot_fn in slots:
+                slot_fn(I, frame)[name] = None
+        return ex
+
+
+# ---------------------------------------------------------------------------
+# The compiled interpreter
+# ---------------------------------------------------------------------------
+
+
+class CompiledInterpreter(Interpreter):
+    """Drop-in :class:`Interpreter` running closure-compiled bodies.
+
+    Only procedure-body execution is replaced; call binding, write-back,
+    local/module elaboration and the public API (``run_main``/``call``)
+    are inherited, so boundary semantics are the reference
+    implementation's by construction.
+    """
+
+    def __init__(
+        self,
+        index: ProgramIndex,
+        overlay: Optional[dict[str, int]] = None,
+        vec_info=None,
+        ledger=None,
+        max_ops: Optional[int] = None,
+        code_cache: Optional[CodeCache] = None,
+    ):
+        super().__init__(index, overlay=overlay, vec_info=vec_info,
+                         ledger=ledger, max_ops=max_ops)
+        self._code_cache = code_cache if code_cache is not None else CODE_CACHE
+        self._code: dict[str, Callable[[Any, Frame], None]] = {}
+        self._chain_memo: dict[str, list[dict]] = {}
+
+    def _make_frame(self, scope_name: str, scope_info,
+                    vec_inherit: bool) -> Frame:
+        chain = self._chain_memo.get(scope_name)
+        if chain is None:
+            # First build may elaborate module frames (charging their
+            # init ops exactly once, as the tree backend does); the
+            # chained dicts are stable afterwards.
+            frame = super()._make_frame(scope_name, scope_info, vec_inherit)
+            self._chain_memo[scope_name] = frame.chain[1:]
+            return frame
+        return Frame(scope_name, chain, vec_inherit=vec_inherit)
+
+    def _run_body(self, proc: F.ProcedureUnit, frame: Frame) -> None:
+        body = self._code.get(frame.scope)
+        if body is None:
+            body = self._code_cache.code_for(self.index, self.vec_info,
+                                             self.overlay, frame.scope)
+            self._code[frame.scope] = body
+        try:
+            body(self, frame)
+        except _ReturnSignal:
+            pass

@@ -22,10 +22,10 @@ and this package makes it watchable, measurable, and auditable:
 from .bus import EventBus, Subscriber, subscribes_to
 from .collectors import MetricsCollector
 from .console import ConsoleRenderer
-from .events import (BatchCompleted, BatchStarted, CacheWarnings,
-                     CampaignFinished, CampaignStarted, PreprocessingDone,
-                     ProfileComputed, VariantEvaluated, WorkerBackoff,
-                     WorkerFailure, WorkerRetry)
+from .events import (BackendSelected, BatchCompleted, BatchStarted,
+                     CacheWarnings, CampaignFinished, CampaignStarted,
+                     PreprocessingDone, ProfileComputed, VariantEvaluated,
+                     WorkerBackoff, WorkerFailure, WorkerRetry)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       render_prometheus)
 from .summary import StageTotals, TraceSummary, summarize_trace
@@ -34,8 +34,9 @@ from .tracing import TRACE_FILE, Span, Tracer, load_trace
 __all__ = [
     "EventBus", "Subscriber", "subscribes_to",
     "MetricsCollector", "ConsoleRenderer",
-    "BatchCompleted", "BatchStarted", "CacheWarnings", "CampaignFinished",
-    "CampaignStarted", "PreprocessingDone", "ProfileComputed",
+    "BackendSelected", "BatchCompleted", "BatchStarted", "CacheWarnings",
+    "CampaignFinished", "CampaignStarted", "PreprocessingDone",
+    "ProfileComputed",
     "VariantEvaluated", "WorkerBackoff", "WorkerFailure", "WorkerRetry",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_prometheus",
     "StageTotals", "TraceSummary", "summarize_trace",

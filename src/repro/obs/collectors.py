@@ -18,15 +18,18 @@ trace directory, ``CampaignResult.metrics``):
 * ``repro_batches_total``, ``repro_batch_sim_seconds`` (histogram),
   ``repro_queue_depth`` (dispatched in the latest batch),
   ``repro_wall_seconds_total`` — batch pipeline shape;
+* ``repro_backend_campaigns_total{backend=...}`` — which Fortran
+  execution backend (compiled / tree) served the campaign;
 * ``repro_campaign_finished`` / ``repro_campaign_interrupted`` gauges.
 """
 
 from __future__ import annotations
 
 from .bus import EventBus
-from .events import (BatchCompleted, CacheWarnings, CampaignFinished,
-                     PreprocessingDone, ProfileComputed, VariantEvaluated,
-                     WorkerBackoff, WorkerFailure, WorkerRetry)
+from .events import (BackendSelected, BatchCompleted, CacheWarnings,
+                     CampaignFinished, PreprocessingDone, ProfileComputed,
+                     VariantEvaluated, WorkerBackoff, WorkerFailure,
+                     WorkerRetry)
 from .metrics import MetricsRegistry
 
 __all__ = ["MetricsCollector"]
@@ -40,9 +43,10 @@ class MetricsCollector:
 
     def attach(self, bus: EventBus) -> None:
         bus.subscribe(self, (VariantEvaluated, BatchCompleted,
-                             PreprocessingDone, ProfileComputed,
-                             CacheWarnings, WorkerRetry, WorkerBackoff,
-                             WorkerFailure, CampaignFinished))
+                             BackendSelected, PreprocessingDone,
+                             ProfileComputed, CacheWarnings, WorkerRetry,
+                             WorkerBackoff, WorkerFailure,
+                             CampaignFinished))
 
     # ------------------------------------------------------------------
 
@@ -84,6 +88,10 @@ class MetricsCollector:
             reg.histogram("repro_batch_sim_seconds",
                           "simulated node-seconds charged per batch"
                           ).observe(bt.sim_seconds)
+        elif isinstance(event, BackendSelected):
+            reg.counter("repro_backend_campaigns_total",
+                        "campaigns run, by execution backend",
+                        backend=event.backend).inc()
         elif isinstance(event, PreprocessingDone):
             reg.counter("repro_sim_seconds_total",
                         "simulated node-seconds by pipeline stage",

@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
-    "CampaignStarted", "PreprocessingDone", "ProfileComputed",
-    "CacheWarnings", "BatchStarted", "BatchCompleted", "VariantEvaluated",
-    "WorkerRetry", "WorkerBackoff", "WorkerFailure", "CampaignFinished",
+    "CampaignStarted", "BackendSelected", "PreprocessingDone",
+    "ProfileComputed", "CacheWarnings", "BatchStarted", "BatchCompleted",
+    "VariantEvaluated", "WorkerRetry", "WorkerBackoff", "WorkerFailure",
+    "CampaignFinished",
 ]
 
 
@@ -39,6 +40,24 @@ class CampaignStarted:
     wall_budget_seconds: float
     max_evaluations: int
     resumed_from_batch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BackendSelected:
+    """The campaign resolved its Fortran execution backend.
+
+    ``backend`` is ``"compiled"`` (closure-lowered procedures, see
+    :mod:`repro.fortran.compile`) or ``"tree"`` (the reference walker).
+    Both are bit-identical in every deterministic payload, so this event
+    is informational: it changes wall-clock, never the trajectory.
+    Compile-time counters (procedures lowered, code-cache hits) are real
+    wall-side measurements and therefore live in the span trace and the
+    metrics export, not in deterministic result JSON.
+    """
+
+    model: str
+    backend: str
+    workers: int
 
 
 @dataclass(frozen=True)

@@ -14,13 +14,15 @@ re-exported here because the Lessons-Learned tooling in
 
 from ..fortran.vectorize import (LoopVerdict, ProcVecInfo, ProgramVecInfo,
                                  analyze_program)
-from .costmodel import CostBreakdown, compute_cost
+from .costmodel import (CostBreakdown, compute_cost, ledger_digest,
+                        ledger_fingerprint)
 from .machine import DERECHO, MachineModel
 from .noise import NoiseModel
 from .timers import TimerEntry, TimerReport, time_execution
 
 __all__ = [
     "LoopVerdict", "ProcVecInfo", "ProgramVecInfo", "analyze_program",
-    "CostBreakdown", "compute_cost", "DERECHO", "MachineModel",
+    "CostBreakdown", "compute_cost", "ledger_digest", "ledger_fingerprint",
+    "DERECHO", "MachineModel",
     "NoiseModel", "TimerEntry", "TimerReport", "time_execution",
 ]

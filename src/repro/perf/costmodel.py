@@ -17,6 +17,8 @@ hindered compiler optimizations by preventing function inlining").
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -24,7 +26,35 @@ from typing import Iterable, Optional
 from ..fortran.instrumentation import Ledger
 from .machine import MachineModel
 
-__all__ = ["CostBreakdown", "compute_cost"]
+__all__ = ["CostBreakdown", "compute_cost", "ledger_fingerprint",
+           "ledger_digest"]
+
+
+def ledger_fingerprint(ledger: Ledger) -> tuple:
+    """Canonical, order-independent identity of a ledger's charges.
+
+    Every count the cost model prices appears here — operation charges
+    by (procedure, opclass, kind, vectorized), call counts, boundary
+    casts, allreduces, and the operation total — in sorted order, so two
+    executions price to the same sim-seconds **iff** their fingerprints
+    are equal.  This is the equality the execution backends are pinned
+    to: the tree walker and the compiled backend must produce identical
+    fingerprints for every program (the differential fuzz suite and the
+    golden-digest tests assert on exactly this value).
+    """
+    return (
+        tuple(sorted((tuple(k), v) for k, v in ledger.ops.items())),
+        tuple(sorted((k, tuple(v)) for k, v in ledger.calls.items())),
+        tuple(sorted(ledger.boundary_cast_elements.items())),
+        tuple(sorted((k, tuple(v)) for k, v in ledger.allreduce.items())),
+        ledger.total_ops,
+    )
+
+
+def ledger_digest(ledger: Ledger) -> str:
+    """sha256 of :func:`ledger_fingerprint`, for compact pinning."""
+    return hashlib.sha256(
+        json.dumps(ledger_fingerprint(ledger)).encode()).hexdigest()
 
 
 def _bare(qualname: str) -> str:

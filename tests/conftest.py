@@ -16,6 +16,19 @@ from repro.models import AdcircCase, FunarcCase, Mom6Case, MpasCase
 FUNARC_N = 200
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("fuzz", "backend differential fuzzing")
+    group.addoption(
+        "--fuzz-seed", type=int, default=None,
+        help="seed for tests/test_fuzz_differential.py's random program "
+             "generator (default: the suite's fixed seed; CI also runs "
+             "one fresh seed per workflow run)")
+    group.addoption(
+        "--fuzz-count", type=int, default=None,
+        help="number of random programs to run through both execution "
+             "backends (default: the suite's standard budget)")
+
+
 @pytest.fixture(scope="session")
 def funarc_case() -> FunarcCase:
     return FunarcCase(n=FUNARC_N)

@@ -473,3 +473,46 @@ class TestRetryBackoff:
             assert oracle._pool is None
         finally:
             oracle.close()
+
+
+class TestCacheWarningDedup:
+    """Satellite fix: re-reading the cache file on resume must not
+    duplicate ``load_warnings`` for the same on-disk corrupt line."""
+
+    def test_reload_does_not_duplicate_warnings(self, tmp_path):
+        from repro.core import Evaluator, ResultCache
+
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        record = evaluator.evaluate_assigned(case.space.all_single(), 0)
+        cache.put(record)
+        with cache.path.open("a") as fh:
+            fh.write('{"context": "torn by a killed writer')
+
+        resumed = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert sum("interrupted write" in w
+                   for w in resumed.load_warnings) == 1
+        # A resume re-reads the same file (e.g. to pick up entries a
+        # concurrent writer appended); the corrupt line is still there
+        # but its warning must not be reported a second time.
+        resumed._load()
+        assert sum("interrupted write" in w
+                   for w in resumed.load_warnings) == 1
+        assert resumed.get(record.kinds, 0) is not None
+
+    def test_resumed_campaign_reports_corrupt_line_once(self, tmp_path):
+        config = _config(cache_dir=str(tmp_path / "cache"),
+                         journal_dir=str(tmp_path / "journal"),
+                         subscribers=(_kill_after(2),))
+        with pytest.raises(Boom):
+            run_campaign(_funarc(), config)
+        # Corrupt the shared cache file between the crash and the resume.
+        (cache_file,) = (tmp_path / "cache").glob("variants-*.jsonl")
+        with cache_file.open("a") as fh:
+            fh.write('{"context": "torn by the crashed writer')
+
+        resumed = run_campaign(_funarc(), config.overriding(
+            subscribers=(), resume=True))
+        assert sum("interrupted write" in w
+                   for w in resumed.cache_warnings) == 1
