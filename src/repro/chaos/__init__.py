@@ -1,0 +1,31 @@
+"""Deterministic chaos engineering for precision-tuning campaigns.
+
+Before a campaign can run as a long-lived service job (ROADMAP item 2),
+every way it can die must be injectable on demand and provably
+recoverable.  This package supplies the injection side:
+
+* :mod:`~repro.chaos.plan` — :class:`FaultPlan`, a seeded, serializable
+  schedule of worker crashes/hangs/raises, campaign SIGKILLs at named
+  crash points, and torn/refused/corrupted state-file writes;
+* :mod:`~repro.chaos.engine` — :class:`ChaosEngine`, the process-wide
+  executor of a plan;
+* :mod:`~repro.chaos.hooks` — the :func:`crash_point` markers in
+  production code and the registry the crash-point matrix enumerates;
+* :mod:`~repro.chaos.doctor` (imported lazily; see ``repro doctor``) —
+  offline consistency checks for journal/cache/trace directories.
+
+The proof side lives in ``tests/test_chaos_matrix.py``: every
+registered crash point, killed and resumed, must yield
+``CampaignResult.to_json()`` bytes identical to an uninterrupted run.
+"""
+
+from .engine import ChaosEngine
+from .hooks import CRASH_POINTS, crash_point, registered_crash_points
+from .plan import (FaultPlan, IOFault, KillAt, WorkerFault,
+                   IO_FAULT_MODES, IO_TARGETS, WORKER_FAULT_MODES)
+
+__all__ = [
+    "ChaosEngine", "CRASH_POINTS", "crash_point",
+    "registered_crash_points", "FaultPlan", "IOFault", "KillAt",
+    "WorkerFault", "IO_FAULT_MODES", "IO_TARGETS", "WORKER_FAULT_MODES",
+]

@@ -1,0 +1,142 @@
+"""The chaos engine: executes a :class:`~repro.chaos.plan.FaultPlan`.
+
+One engine is installed process-wide (via :func:`repro.chaos.hooks
+.install`) for the duration of a campaign.  Production code consults it
+through two narrow channels:
+
+* :func:`repro.chaos.hooks.crash_point` — named kill sites.  When the
+  plan schedules a kill at the current hit of a point, the engine emits
+  a :class:`~repro.obs.events.FaultInjected` event, fsyncs a terminal
+  trace span, and delivers ``SIGKILL`` to its own process — the most
+  honest crash available: no atexit handlers, no finally blocks, no
+  flushing that a real OOM-kill or node failure would not get.
+* :meth:`ChaosEngine.io_action` — called by :mod:`repro.core.ioutil`
+  before every state-file write to ask whether this (target, nth-write)
+  pair is scheduled for sabotage.
+
+Worker-side faults do not travel through the engine at runtime — worker
+processes have no bus and no engine.  They are compiled into
+``WorkerSpec.chaos_faults`` by the parallel oracle (see
+:meth:`ParallelOracle.for_model`); the engine only *accounts* for them
+(:meth:`note_worker_fault`) so the chaos metrics and summary span see
+every injected fault regardless of which process felt it.
+
+Everything the engine does is deterministic: counters key on logical
+indices, never wall-clock, so replaying a plan reproduces the run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from collections import Counter
+from contextlib import contextmanager
+from typing import Optional
+
+from . import hooks
+from .plan import FaultPlan
+
+__all__ = ["ChaosEngine"]
+
+
+class ChaosEngine:
+    """Deterministic fault injector for one campaign run."""
+
+    def __init__(self, plan: FaultPlan, bus=None, tracer=None):
+        self.plan = plan
+        self.bus = bus
+        self.tracer = tracer
+        self._point_hits: Counter = Counter()   # crash point -> hits seen
+        self._write_counts: Counter = Counter()  # io target -> writes seen
+        self._noted_workers: set[int] = set()
+        #: "kind:site:mode" -> times injected (the chaos span payload).
+        self.injected: Counter = Counter()
+        # Set while delivering a kill so the death rattle (event emit,
+        # trace span) cannot recursively trigger further injections.
+        self._suspended = False
+
+    # -- crash points --------------------------------------------------
+
+    def hit_crash_point(self, name: str) -> None:
+        if self._suspended:
+            return
+        self._point_hits[name] += 1
+        hit = self._point_hits[name]
+        for kill in self.plan.kills:
+            if kill.point == name and kill.hit == hit:
+                self._die(name, hit)
+
+    def _die(self, point: str, hit: int) -> None:
+        self._suspended = True
+        self.injected[f"kill:{point}:sigkill"] += 1
+        self._emit("crash_point", point, "sigkill", hit)
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            try:
+                self.tracer.emit_span(
+                    "chaos.kill", None, None,
+                    {"point": point, "hit": hit,
+                     "plan": self.plan.digest()})
+            except Exception:
+                pass  # dying anyway; the trace span is best-effort
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- state-file writes ---------------------------------------------
+
+    def io_action(self, target: str) -> Optional[str]:
+        """Fault mode for the write about to happen to *target*, or
+        None.  Counts the write either way (indices are 1-based over
+        all writes of that target, faulted or not)."""
+        if self._suspended:
+            return None
+        self._write_counts[target] += 1
+        index = self._write_counts[target]
+        for fault in self.plan.io_faults:
+            if fault.target == target and fault.index == index:
+                self.injected[f"io:{target}:{fault.mode}"] += 1
+                self._emit("io", target, fault.mode, index)
+                return fault.mode
+        return None
+
+    # -- worker faults (accounting only) -------------------------------
+
+    def note_worker_fault(self, variant_id: int, mode: str,
+                          once: bool) -> None:
+        """Record that a worker-side fault was armed for *variant_id*.
+
+        Called by the parallel oracle at dispatch time (once per
+        variant per run) — the fault itself fires inside the worker
+        process, which has no engine."""
+        if variant_id in self._noted_workers:
+            return
+        self._noted_workers.add(variant_id)
+        kind = "once" if once else "poison"
+        self.injected[f"worker:{variant_id}:{mode}-{kind}"] += 1
+        self._emit("worker", f"variant:{variant_id}", mode, 1)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, kind: str, site: str, mode: str, hit: int) -> None:
+        if self.bus is None:
+            return
+        from ..obs.events import FaultInjected
+        self.bus.emit(FaultInjected(kind=kind, site=site, mode=mode,
+                                    hit=hit))
+
+    def summary(self) -> dict:
+        """Deterministic payload for the campaign's chaos span."""
+        return {
+            "plan": self.plan.digest(),
+            "seed": self.plan.seed,
+            "faults_injected": sum(self.injected.values()),
+            "injections": {k: v for k, v in sorted(self.injected.items())},
+        }
+
+    @contextmanager
+    def installed(self):
+        """Install this engine process-wide for the duration of the
+        block (the campaign driver's integration point)."""
+        hooks.install(self)
+        try:
+            yield self
+        finally:
+            hooks.uninstall()

@@ -1,0 +1,99 @@
+"""Crash points: the named kill sites the chaos matrix enumerates.
+
+A *crash point* is a semantic location in the campaign/journal/cache
+write path where a real deployment could die — immediately before or
+after a durable write — marked in the production code with an explicit
+``crash_point("journal.batch_intent")`` call.  The call is a no-op
+(one attribute load and a None check) unless a
+:class:`~repro.chaos.engine.ChaosEngine` is installed, in which case
+the engine decides whether the active :class:`~repro.chaos.plan
+.FaultPlan` schedules a SIGKILL at this hit of this point.
+
+The registry below is the closed, enumerable set the crash-point
+matrix gate (``tests/test_chaos_matrix.py``) iterates: every name must
+be reachable in a journaled+cached funarc campaign, and a campaign
+killed at any of them must resume to byte-identical results.  Adding a
+crash point to the code without registering it here (or vice versa)
+is an error the tests catch.
+
+This module deliberately imports nothing from the rest of the package
+so every layer (core, obs, numerics) can call :func:`crash_point`
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CRASH_POINTS", "crash_point", "registered_crash_points",
+           "install", "uninstall", "active_engine"]
+
+#: name -> where the kill lands (the failure the matrix cell simulates).
+CRASH_POINTS: dict[str, str] = {
+    "journal.header": (
+        "before the campaign header is appended: the journal file "
+        "exists but holds no readable records"),
+    "journal.batch_intent": (
+        "before a batch's write-ahead intent is appended: the batch "
+        "was planned but never announced"),
+    "journal.variant": (
+        "before a freshly evaluated variant record is appended: the "
+        "evaluation is lost and must be re-done on resume"),
+    "journal.batch_done": (
+        "before a batch's commit marker is appended: the batch's "
+        "variants are journaled but the batch is uncommitted"),
+    "journal.snapshot": (
+        "before the search-state snapshot is atomically replaced: the "
+        "previous snapshot (or a stray .tmp) survives"),
+    "journal.finished": (
+        "before the terminal 'finished' marker is appended: the "
+        "search completed but the journal does not say so"),
+    "cache.put": (
+        "before a result is appended to the persistent cache: the "
+        "journal may hold a record the cache does not"),
+    "campaign.preprocess": (
+        "after T0 preprocessing, before the first batch: the journal "
+        "holds only its header"),
+    "campaign.batch_committed": (
+        "after a batch fully committed (journal batch_done, telemetry, "
+        "subscribers): the cleanest possible mid-campaign death"),
+    "campaign.finish": (
+        "after the journal is finalized and closed, before the result "
+        "object is returned to the caller"),
+}
+
+#: The installed engine (or None).  Written only by install/uninstall;
+#: read on every crash_point call, so keep it a plain module global.
+_ACTIVE = None
+
+
+def install(engine) -> None:
+    """Make *engine* the process-wide chaos engine."""
+    global _ACTIVE
+    _ACTIVE = engine
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_engine():
+    """The installed :class:`ChaosEngine`, or None."""
+    return _ACTIVE
+
+
+def registered_crash_points() -> tuple[str, ...]:
+    """All registered crash-point names, sorted (the matrix rows)."""
+    return tuple(sorted(CRASH_POINTS))
+
+
+def crash_point(name: str) -> None:
+    """Mark a named kill site.  No-op unless a chaos engine is active.
+
+    ``name`` must be registered in :data:`CRASH_POINTS` — the matrix
+    gate can only prove recoverability for points it can enumerate.
+    """
+    engine = _ACTIVE
+    if engine is not None:
+        engine.hit_crash_point(name)

@@ -9,6 +9,9 @@ Commands mirror the paper's workflow stages:
 ``trace DIR``       summarize a campaign's span trace (per-stage time)
 ``transform MODEL`` apply an assignment as source-to-source transformation
 ``reduce MODEL``    show the taint-based program reduction (paper §III-C)
+``chaos MODEL``     run a campaign under a deterministic fault plan, then
+                    resume it chaos-free (and ``--verify`` byte-identity)
+``doctor DIR``      triage a campaign state directory after a crash
 
 Flag conventions: directory-valued knobs are uniformly ``--cache-dir``
 / ``--journal-dir`` / ``--trace-dir``; the execution knobs
@@ -22,7 +25,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 from typing import Optional
 
 from .analysis import assess_hotspot, build_dataflow
@@ -163,6 +168,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.add_argument("--targets", default="all",
                    help="comma-separated qualified names (default: all atoms)")
+
+    p = sub.add_parser("chaos", parents=[execution],
+                       help="fault-injection harness: run a campaign under "
+                            "a deterministic chaos plan in a child process, "
+                            "then resume it chaos-free")
+    p.add_argument("model", nargs="?",
+                   help="model name (see `repro list`); optional with "
+                        "--list-points")
+    p.add_argument("--plan", default=None, metavar="FILE",
+                   help="chaos-plan JSON file (repro.chaos.FaultPlan)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="generate a deterministic plan from this seed "
+                        "(same seed, same faults — reproducible chaos)")
+    p.add_argument("--point", default=None, metavar="NAME[:HIT]",
+                   help="SIGKILL the campaign at the HITth hit (default "
+                        "first) of this crash point")
+    p.add_argument("--list-points", action="store_true",
+                   help="list registered crash points and exit")
+    p.add_argument("--verify", action="store_true",
+                   help="also run an uninterrupted campaign and require "
+                        "the resumed result to be byte-identical")
+    p.add_argument("--journal-dir", default=None,
+                   help="journal directory for the chaos run "
+                        "(default: a fresh temp directory)")
+    p.add_argument("--trace-dir", default=None,
+                   help="span trace / metrics directory for the chaos run")
+    p.add_argument("--max-evals", type=int, default=600,
+                   help="evaluation cap (default 600)")
+    p.add_argument("--budget-hours", type=float, default=12.0,
+                   help="simulated wall-clock budget (default 12h)")
+
+    p = sub.add_parser("doctor",
+                       help="triage a campaign state directory after a "
+                            "crash: is it resumable, and what to expect")
+    p.add_argument("dir", help="journal directory (--journal-dir of the "
+                               "dead campaign)")
+    p.add_argument("--cache-dir", default=None,
+                   help="also check this persistent variant cache")
+    p.add_argument("--trace-dir", default=None,
+                   help="also check this span-trace directory")
 
     return parser
 
@@ -427,6 +472,120 @@ def _cmd_reduce(args) -> int:
     return 0
 
 
+def _chaos_child(model_name: str, config) -> None:  # pragma: no cover
+    """Body of the forked chaos-run child.
+
+    Runs in a ``fork`` child so a SIGKILL crash point takes down this
+    process, not the operator's CLI.  Fork means the config (including
+    the FaultPlan) is inherited, never pickled.
+    """
+    case = get_model(model_name)
+    try:
+        run_campaign(case, config)
+    except ReproError as exc:
+        print(f"chaos child: {type(exc).__name__}: {exc}", file=sys.stderr)
+        os._exit(3)
+    os._exit(0)
+
+
+def _cmd_chaos(args) -> int:
+    import multiprocessing
+    import signal
+    import tempfile
+
+    from .chaos import CRASH_POINTS, FaultPlan, KillAt
+
+    if args.list_points:
+        print("registered crash points:")
+        for name in sorted(CRASH_POINTS):
+            print(f"  {name:26s} {CRASH_POINTS[name]}")
+        return 0
+    if not args.model:
+        raise SystemExit("error: MODEL is required unless --list-points")
+    chosen = [flag for flag, given in
+              (("--plan", args.plan is not None),
+               ("--point", args.point is not None),
+               ("--seed", args.seed is not None)) if given]
+    if len(chosen) > 1:
+        raise SystemExit(f"error: {' / '.join(chosen)} are mutually "
+                         f"exclusive")
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    elif args.point:
+        name, _, hit = args.point.partition(":")
+        if name not in CRASH_POINTS:
+            raise SystemExit(f"error: unknown crash point {name!r} "
+                             f"(see repro chaos --list-points)")
+        plan = FaultPlan(kills=(KillAt(name, int(hit) if hit else 1),))
+    else:
+        plan = FaultPlan.random(args.seed if args.seed is not None else 0)
+
+    get_model(args.model)                      # fail fast on a bad name
+    journal_dir = args.journal_dir or tempfile.mkdtemp(
+        prefix="repro-chaos-run-")
+    print(f"chaos plan {plan.digest()}: {plan.describe()}")
+    print(f"journal: {journal_dir}")
+
+    base = dict(wall_budget_seconds=args.budget_hours * 3600.0,
+                max_evaluations=args.max_evals,
+                backend=args.backend, workers=args.workers,
+                cache_dir=args.cache_dir, journal_dir=journal_dir,
+                trace_dir=args.trace_dir)
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_chaos_child,
+                       args=(args.model, CampaignConfig(chaos=plan, **base)))
+    proc.start()
+    proc.join(600)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+        print("chaos run: child wedged past 600 s; killed", file=sys.stderr)
+        return 1
+    if proc.exitcode == -signal.SIGKILL:
+        print("chaos run: SIGKILL delivered at a crash point")
+    elif proc.exitcode == 0:
+        print("chaos run: campaign survived the plan and completed")
+    else:
+        print(f"chaos run: child exited {proc.exitcode}", file=sys.stderr)
+        return 1
+
+    journal_file = Path(journal_dir) / "journal.jsonl"
+    resume = journal_file.exists() and journal_file.stat().st_size > 0
+    resumed = run_campaign(get_model(args.model),
+                           CampaignConfig(resume=resume, **base))
+    label = ("resumed" if resume else
+             "restarted (empty journal: killed before the header landed)")
+    summary = resumed.summary()
+    print(f"{label}: {summary.total} variants  best passing speedup "
+          f"{summary.best_speedup:.3f}x  finished={summary.finished}")
+    if resumed.resumed_from_batch is not None:
+        print(f"replayed through batch {resumed.resumed_from_batch}")
+
+    if args.verify:
+        clean_base = dict(base, journal_dir=None, cache_dir=None,
+                          trace_dir=None)
+        clean = run_campaign(get_model(args.model),
+                             CampaignConfig(**clean_base))
+        if clean.to_json() == resumed.to_json():
+            print("verify: resumed result is byte-identical to an "
+                  "uninterrupted run")
+        else:
+            print("verify: MISMATCH — resumed result diverges from the "
+                  "uninterrupted run", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    from .chaos.doctor import diagnose
+
+    report = diagnose(args.dir, cache_dir=args.cache_dir,
+                      trace_dir=args.trace_dir)
+    print(report.render())
+    return 0 if report.healthy else 1
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "profile": _cmd_profile,
@@ -435,6 +594,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "transform": _cmd_transform,
     "reduce": _cmd_reduce,
+    "chaos": _cmd_chaos,
+    "doctor": _cmd_doctor,
 }
 
 

@@ -40,8 +40,10 @@ import json
 from pathlib import Path
 from typing import Optional
 
+from ..chaos.hooks import crash_point
 from ..errors import CampaignError
 from .evaluation import VariantRecord, evaluation_context
+from .ioutil import append_line, seal_torn_tail
 from .results import record_from_dict, record_to_dict, validate_record_dict
 
 __all__ = ["ResultCache", "evaluation_context"]
@@ -69,6 +71,12 @@ class ResultCache:
         #: able to warm-start from whatever survived.
         self.load_warnings: list[str] = []
         self._warned: set[str] = set()
+        #: Set after a refused append (ENOSPC, failed fsync): the cache
+        #: keeps serving and recording in memory, but stops touching a
+        #: disk that is refusing writes.  Results are unaffected — the
+        #: cache only changes cost, never trajectory.
+        self._persist = True
+        self._sealed = False
         self._load()
 
     @classmethod
@@ -155,13 +163,29 @@ class ResultCache:
     def put(self, record: VariantRecord) -> None:
         data = record_to_dict(record)
         self._records[tuple(record.kinds)] = data
+        if not self._persist:
+            return
         line = json.dumps({
             "context": self.context,
             "key": list(record.kinds),
             "record": data,
         }, sort_keys=True)
-        with self.path.open("a") as fh:
-            fh.write(line + "\n")
+        crash_point("cache.put")
+        if not self._sealed:
+            # First append of this process: terminate any torn tail a
+            # killed predecessor left, so this line cannot glue onto it.
+            seal_torn_tail(self.path)
+            self._sealed = True
+        try:
+            with self.path.open("a") as fh:
+                append_line(fh, line, kind="cache")
+        except OSError as exc:
+            self._persist = False
+            self._warn(
+                f"{self.path.name}: cache append failed "
+                f"({exc.strerror or exc}); persistence disabled for "
+                f"this run — results are unaffected, later campaigns "
+                f"will re-evaluate")
 
     def __len__(self) -> int:
         return len(self._records)

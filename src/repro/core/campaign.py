@@ -46,6 +46,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional
 
+from ..chaos import ChaosEngine, FaultPlan
+from ..chaos import hooks as _chaos_hooks
+from ..chaos.hooks import crash_point
 from ..errors import CampaignError, ReproError
 from ..obs.bus import EventBus, subscribes_to
 from ..obs.collectors import MetricsCollector
@@ -114,6 +117,29 @@ class CampaignConfig:
     retry_backoff_seconds: float = 0.5
     retry_backoff_max_seconds: float = 8.0
 
+    # -- fault hardening (repro.chaos) -------------------------------------
+    #: Deterministic fault-injection schedule for this run
+    #: (:class:`repro.chaos.FaultPlan`); None runs chaos-free.  An
+    #: execution knob like ``workers``: excluded from the journal's
+    #: trajectory fingerprint, so a campaign killed under chaos resumes
+    #: chaos-free to byte-identical results.
+    chaos: Optional[FaultPlan] = None
+    #: Quarantine poison variants: a variant whose worker attempts all
+    #: failed the *same* way is recorded as a permanent typed failure
+    #: (journaled, replayed on resume) instead of a transient downgrade,
+    #: so the search continues and never re-poisons a fresh allocation.
+    quarantine: bool = True
+    #: Consecutive worker-pool deaths (retry rounds with zero completed
+    #: results) tolerated within one batch before the circuit breaker
+    #: stops rebuilding the pool and downgrades the remaining variants
+    #: immediately — infrastructure that is down stays down for the
+    #: batch; burning the whole retry budget against it helps nobody.
+    pool_breaker_threshold: int = 5
+    #: Grace period for reaping worker processes on ``close()``.  A hung
+    #: worker ignores its executor sentinel forever; after this many
+    #: seconds it is terminated, then SIGKILLed — close never wedges.
+    pool_reap_seconds: float = 5.0
+
     # -- numerical profiling (repro.numerics) ------------------------------
     #: Where to persist/load the shadow-execution numerical profile.
     #: When the file exists it is loaded (~0 simulated cost); otherwise a
@@ -174,6 +200,7 @@ class BatchTelemetry:
     sim_seconds: float        # simulated node-pool charge
     replayed: int = 0         # subset of cache_hits served from the journal
     backoff_seconds: float = 0.0   # real seconds slept between worker retries
+    quarantined: int = 0      # subset of failures recorded as permanent
     #: Simulated charge decomposed over pipeline stages (the slowest
     #: member of each node-pool wave sets the wave's charge, so its
     #: stage split is the wave's stage split); values sum to
@@ -190,6 +217,7 @@ class BatchTelemetry:
             "sim_seconds": self.sim_seconds,
             "replayed": self.replayed,
             "backoff_seconds": self.backoff_seconds,
+            "quarantined": self.quarantined,
             "stage_sim": dict(self.stage_sim),
         }
 
@@ -206,6 +234,7 @@ class _BatchStats:
     failures: int = 0
     replayed: int = 0
     backoff_seconds: float = 0.0
+    quarantined: int = 0
 
 
 @dataclass
@@ -361,6 +390,7 @@ class BudgetedOracle:
             sim_seconds=batch_seconds,
             replayed=stats.replayed,
             backoff_seconds=stats.backoff_seconds,
+            quarantined=stats.quarantined,
             stage_sim=stage_sim,
         )
         self.telemetry.append(telemetry)
@@ -371,6 +401,7 @@ class BudgetedOracle:
         self.bus.emit(telemetry)
         if self.batch_callback is not None:
             self.batch_callback(telemetry)
+        crash_point("campaign.batch_committed")
         return records
 
     # ------------------------------------------------------------------
@@ -798,6 +829,15 @@ def run_campaign(
     oracle.bus = bus
     oracle.tracer = tracer
 
+    # Fault injection (repro.chaos): installed before the journal opens
+    # so every registered crash point — journal.header included — is
+    # live.  Uninstalled in the outermost finally; a SIGKILL delivered
+    # by the engine needs no cleanup by design.
+    chaos_engine: Optional[ChaosEngine] = None
+    if config.chaos is not None and not config.chaos.empty:
+        chaos_engine = ChaosEngine(config.chaos, bus=bus, tracer=tracer)
+        _chaos_hooks.install(chaos_engine)
+
     # Crash safety: open (or resume) the write-ahead journal, refusing
     # to replay a journal written for a different campaign.
     journal: Optional[CampaignJournal] = None
@@ -862,6 +902,7 @@ def run_campaign(
             bus.emit(PreprocessingDone(model=model.name,
                                        sim_seconds=preprocessing,
                                        note=preprocessing_note))
+            crash_point("campaign.preprocess")
 
             # One-time numerical-profile charge: a freshly computed
             # profile costs shadow-execution node time; a loaded or
@@ -927,15 +968,31 @@ def run_campaign(
             sim_seconds=(oracle.wall_seconds_used + preprocessing
                          + profile_charge),
         ))
+        # Terminal kill site: the journal is finalized and closed, the
+        # campaign finished — only the result hand-off (and advisory
+        # trace/metrics export) remains.  A resume from here is a pure
+        # replay.
+        crash_point("campaign.finish")
     finally:
         # The trace artifacts must survive any exit — including a
         # subscriber aborting the campaign mid-search (that is the
         # crash-forensics case they exist for).
+        if chaos_engine is not None and tracer.enabled:
+            tracer.emit_span("chaos", wall_seconds=0.0, sim_seconds=0.0,
+                             attrs=chaos_engine.summary())
         if config.trace_dir:
+            from .ioutil import atomic_write
             Path(config.trace_dir).mkdir(parents=True, exist_ok=True)
-            (Path(config.trace_dir) / "metrics.prom").write_text(
-                registry.render_prometheus())
+            try:
+                atomic_write(Path(config.trace_dir) / "metrics.prom",
+                             registry.render_prometheus(), kind="metrics")
+            except OSError:
+                pass  # metrics export is advisory, like the trace itself
         tracer.close()
+        # Uninstall last: the advisory trace/metrics exports above are
+        # themselves fault-injection targets.
+        if chaos_engine is not None:
+            _chaos_hooks.uninstall()
     return CampaignResult(
         model_name=model.name,
         search=search_result,
@@ -952,7 +1009,11 @@ def run_campaign(
         profile_source=profile_source,
         profile_sim_seconds=(profile.sim_seconds
                              if profile is not None else 0.0),
-        cache_warnings=cache_warnings,
+        # Re-read, not the pre-search snapshot: put-time warnings (e.g.
+        # "append failed, persistence disabled") accrue during the
+        # search and belong in the operator-facing result too.
+        cache_warnings=(tuple(oracle.cache.load_warnings)
+                        if oracle.cache is not None else cache_warnings),
     )
 
 

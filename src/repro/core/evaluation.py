@@ -270,6 +270,19 @@ class Evaluator:
             note=note,
         )
 
+    def quarantine_record(self, assignment: PrecisionAssignment, vid: int,
+                          outcome: Outcome, attempts: int,
+                          reason: str) -> VariantRecord:
+        """A permanent typed failure for a poison variant: one that
+        failed the *same* way on every attempt, so retrying it further
+        (or ever again on resume) is pointless.  Identical cost model
+        to :meth:`failure_record`; the note marks it as quarantined so
+        the provenance survives in result JSON and the journal."""
+        return self.failure_record(
+            assignment, vid, outcome,
+            note=(f"{reason} ({attempts} attempts); quarantined as "
+                  f"deterministic poison variant"))
+
     def evaluate_assigned(self, assignment: PrecisionAssignment,
                           vid: int) -> VariantRecord:
         """Evaluate under a pre-reserved variant id, bypassing caches.

@@ -44,13 +44,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from ..chaos.hooks import crash_point
 from ..errors import JournalError
 from .evaluation import VariantRecord
+from .ioutil import append_line, atomic_write, seal_torn_tail
 from .results import record_from_dict, record_to_dict, validate_record_dict
 
 __all__ = ["JOURNAL_FORMAT", "CampaignJournal", "JournalState",
@@ -123,6 +124,7 @@ class JournalState:
     header: dict
     records: dict[tuple[int, ...], dict] = field(default_factory=dict)
     intents: dict[int, list] = field(default_factory=dict)
+    quarantined: dict[tuple[int, ...], str] = field(default_factory=dict)
     completed_batches: int = 0          # contiguous batch_done prefix
     intent_batches: int = 0             # contiguous batch_intent prefix
     wall_seconds_used: float = 0.0      # sim spend of the dead allocation
@@ -178,14 +180,17 @@ class JournalState:
             assert state is not None
             if kind == "batch_intent":
                 state.intents[entry.get("batch", -1)] = entry.get("keys", [])
-            elif kind == "variant":
+            elif kind in ("variant", "quarantine"):
                 data = entry.get("record")
                 if not validate_record_dict(data):
                     state.warnings.append(
-                        f"{path.name}:{lineno}: malformed variant "
+                        f"{path.name}:{lineno}: malformed {kind} "
                         f"record; skipped")
                     continue
                 state.records[tuple(data["kinds"])] = data
+                if kind == "quarantine":
+                    state.quarantined[tuple(data["kinds"])] = entry.get(
+                        "reason", "")
             elif kind == "batch_done":
                 done.add(entry.get("batch", -1))
                 state.wall_seconds_used = entry.get(
@@ -218,6 +223,12 @@ class JournalState:
             # Snapshots are advisory; resume relies on the journal only.
             self.warnings.append(
                 f"{path.name}: unreadable search-state snapshot; ignored")
+
+    @property
+    def load_warnings(self) -> list[str]:
+        """Alias matching :attr:`ResultCache.load_warnings`: everything
+        skipped or ignored while recovering this journal."""
+        return self.warnings
 
     # ------------------------------------------------------------------
 
@@ -268,6 +279,7 @@ class CampaignJournal:
         self._intents = state.intent_batches if state else 0
         self._dones = state.completed_batches if state else 0
         self._snapshots_written = 0
+        self.snapshot_failures = 0
         if state is None:
             if self.path.exists() and self.path.stat().st_size > 0:
                 raise JournalError(
@@ -275,8 +287,13 @@ class CampaignJournal:
                     f"resume it (resume_from=... / --resume) or point "
                     f"--journal-dir at a fresh directory")
             self._fh = self.path.open("a")
+            crash_point("journal.header")
             self._append(header)
         else:
+            # A predecessor killed mid-append leaves a torn final line;
+            # seal it so our appends (resume marker first) cannot glue
+            # onto the tear and vanish with it at the next load.
+            seal_torn_tail(self.path)
             self._fh = self.path.open("a")
 
     @classmethod
@@ -294,9 +311,17 @@ class CampaignJournal:
     # ------------------------------------------------------------------
 
     def _append(self, entry: dict) -> None:
-        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        try:
+            append_line(self._fh, json.dumps(entry, sort_keys=True),
+                        kind="journal")
+        except OSError as exc:
+            # Unlike cache/trace/metrics, the journal may not degrade:
+            # its durability IS the resume contract.  Fail the campaign
+            # loudly; everything committed so far remains resumable.
+            raise JournalError(
+                f"journal append to {self.path} failed "
+                f"({exc.strerror or exc}); refusing to continue without "
+                f"a durable journal — free disk space and resume") from exc
 
     def batch_intent(self, batch: int, keys: list[list[int]]) -> None:
         """Write-ahead record: *keys* are about to be dispatched.
@@ -314,18 +339,34 @@ class CampaignJournal:
                     f"(journaled {len(recorded)} keys, replay produced "
                     f"{len(keys)}); refusing to continue")
             return
+        crash_point("journal.batch_intent")
         self._append({"type": "batch_intent", "batch": batch, "keys": keys})
         self._intents = batch + 1
 
     def variant(self, batch: int, record: VariantRecord) -> None:
         """One freshly evaluated variant completed."""
+        crash_point("journal.variant")
         self._append({"type": "variant", "batch": batch,
+                      "record": record_to_dict(record)})
+
+    def quarantine(self, batch: int, record: VariantRecord,
+                   reason: str) -> None:
+        """A poison variant's permanent typed failure.
+
+        Journaled (unlike transient synthesized failures) so a resumed
+        campaign replays the quarantine instead of re-poisoning its
+        worker pool; served through :meth:`JournalState.lookup` under
+        the same variant-id contract as ordinary records.
+        """
+        self._append({"type": "quarantine", "batch": batch,
+                      "reason": reason,
                       "record": record_to_dict(record)})
 
     def batch_done(self, batch: int, sim_seconds: float,
                    wall_seconds_used: float, evaluations: int) -> None:
         if batch < self._dones:
             return
+        crash_point("journal.batch_done")
         self._append({"type": "batch_done", "batch": batch,
                       "sim_seconds": sim_seconds,
                       "wall_seconds_used": wall_seconds_used,
@@ -336,6 +377,7 @@ class CampaignJournal:
         self._append({"type": "interrupted", "reason": reason})
 
     def mark_finished(self) -> None:
+        crash_point("journal.finished")
         self._append({"type": "finished"})
 
     # ------------------------------------------------------------------
@@ -343,17 +385,21 @@ class CampaignJournal:
     def snapshot(self, state: dict) -> None:
         """Atomically replace the search-state snapshot.
 
-        Written via a temp file + ``os.replace`` so a crash mid-write
-        can never leave a half-written snapshot — readers see either
-        the previous snapshot or the new one.
+        Written via :func:`~repro.core.ioutil.atomic_write` (temp file
+        + fsync + ``os.replace``) so a crash mid-write can never leave
+        a half-written snapshot — readers see either the previous
+        snapshot or the new one.  Snapshots are advisory (the journal
+        alone drives resume), so a refused write degrades instead of
+        failing the campaign.
         """
+        crash_point("journal.snapshot")
         target = self.directory / _SNAPSHOT_FILE
-        tmp = self.directory / (_SNAPSHOT_FILE + ".tmp")
-        with tmp.open("w") as fh:
-            json.dump(state, fh, sort_keys=True)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, target)
+        try:
+            atomic_write(target, json.dumps(state, sort_keys=True),
+                         kind="snapshot")
+        except OSError:
+            self.snapshot_failures += 1
+            return
         self._snapshots_written += 1
 
     def close(self) -> None:

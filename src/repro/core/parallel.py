@@ -44,13 +44,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import signal
+import tempfile
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (BrokenExecutor, CancelledError,
+                                ProcessPoolExecutor)
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..obs.events import WorkerBackoff, WorkerFailure, WorkerRetry
+from ..chaos.hooks import active_engine
+from ..obs.events import (CircuitBreakerOpen, VariantQuarantined,
+                          WorkerBackoff, WorkerFailure, WorkerRetry)
 from ..perf.machine import MachineModel
 from ..perf.noise import NoiseModel
 from .assignment import PrecisionAssignment
@@ -66,9 +72,15 @@ __all__ = ["WorkerSpec", "ParallelOracle"]
 class WorkerSpec:
     """Everything a worker process needs to rebuild the evaluator.
 
-    ``fault`` is a test-only hook for the fault-tolerance suite: workers
-    cannot be monkeypatched across the process boundary, so fault
-    injection travels with the spec.  Production callers leave it None.
+    ``fault`` is the legacy one-shot hook for the fault-tolerance
+    suite: workers cannot be monkeypatched across the process boundary,
+    so fault injection travels with the spec.  ``chaos_faults`` is its
+    generalization, compiled from :attr:`CampaignConfig.chaos` by
+    :meth:`ParallelOracle.for_model`: per-variant ``(variant_id, mode,
+    marker_path)`` entries, where a non-empty marker path arms the
+    fault once (the marker file records that it fired; the retry
+    proceeds normally) and an empty one makes the variant *poison* —
+    every attempt fails.  Production callers leave both empty.
     """
 
     model_name: str
@@ -78,13 +90,34 @@ class WorkerSpec:
     noise: NoiseModel
     fault: Optional[tuple[str, str]] = None   # (mode, argument)
     backend: str = "compiled"                 # Fortran execution backend
+    chaos_faults: tuple[tuple[int, str, str], ...] = ()
 
 
 # Worker-process state, populated once per worker by _worker_init.
 _WORKER: dict = {}
 
 
+def _bind_to_parent_death() -> None:
+    """Ask the kernel to SIGKILL this worker when its parent dies.
+
+    Without this, a ``kill -9`` of the campaign process orphans the
+    pool workers: they inherit both ends of the executor's call-queue
+    pipe, so EOF never arrives and they block in ``queue.get()``
+    forever, pinning the parent's inherited stdio open.  Linux-only
+    (``prctl(PR_SET_PDEATHSIG)``); elsewhere the bounded reaper in
+    ``ParallelOracle.close()`` is the only line of defense.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        libc.prctl(1, signal.SIGKILL, 0, 0, 0)   # 1 == PR_SET_PDEATHSIG
+    except (OSError, AttributeError):
+        pass
+
+
 def _worker_init(spec: WorkerSpec) -> None:
+    _bind_to_parent_death()
     # Imported here: repro.models imports repro.core, so a module-level
     # import would be circular during package initialization.
     from ..models.registry import build_model
@@ -95,32 +128,51 @@ def _worker_init(spec: WorkerSpec) -> None:
         noise=spec.noise, backend=spec.backend)
     _WORKER["atoms"] = case.space.atoms
     _WORKER["fault"] = spec.fault
+    _WORKER["chaos_faults"] = {vid: (mode, marker)
+                               for vid, mode, marker in spec.chaos_faults}
 
 
-def _maybe_fault() -> None:
-    fault = _WORKER.get("fault")
-    if fault is None:
-        return
-    mode, arg = fault
-    if mode.endswith("_once"):
-        # One-shot faults arm through a marker file so the retry (in a
-        # fresh worker) proceeds normally.
-        try:
-            fd = os.open(arg, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            os.close(fd)
-        except FileExistsError:
-            return                  # already fired once — behave normally
-        mode = mode[:-len("_once")]
+def _arm_once(marker: str) -> bool:
+    """Claim a one-shot fault via an O_EXCL marker file.  Returns True
+    when this call armed the fault (it should fire now); False when a
+    previous attempt already fired it (behave normally)."""
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        return True
+    except FileExistsError:
+        return False
+
+
+def _fire(mode: str, detail: str) -> None:
     if mode == "crash":
         os._exit(13)
     if mode == "hang":
         time.sleep(3600)
     if mode == "raise":
-        raise RuntimeError(arg or "injected worker fault")
+        raise RuntimeError(detail or "injected worker fault")
+
+
+def _maybe_fault(vid: Optional[int] = None) -> None:
+    fault = _WORKER.get("fault")
+    if fault is not None:
+        mode, arg = fault
+        if mode.endswith("_once"):
+            # One-shot faults arm through a marker file so the retry
+            # (in a fresh worker) proceeds normally.
+            if _arm_once(arg):
+                _fire(mode[:-len("_once")], arg)
+        else:
+            _fire(mode, arg)
+    entry = (_WORKER.get("chaos_faults") or {}).get(vid)
+    if entry is not None:
+        mode, marker = entry
+        if not marker or _arm_once(marker):
+            _fire(mode, f"chaos fault armed for variant {vid}")
 
 
 def _worker_evaluate(kinds: tuple[int, ...], vid: int) -> VariantRecord:
-    _maybe_fault()
+    _maybe_fault(vid)
     evaluator: Evaluator = _WORKER["evaluator"]
     assignment = PrecisionAssignment(atoms=_WORKER["atoms"], kinds=kinds)
     return evaluator.evaluate_assigned(assignment, vid)
@@ -144,6 +196,19 @@ class ParallelOracle(BudgetedOracle):
     spec: Optional[WorkerSpec] = None
     _pool: Optional[ProcessPoolExecutor] = field(
         default=None, init=False, repr=False, compare=False)
+    #: Pool-lifetime directory for chaos fault marker files; removed on
+    #: close() (the satellite fix: markers must survive pool rebuilds
+    #: between retries, but never outlive the oracle).
+    _marker_dir: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False)
+    #: variant_id -> (mode, once) for chaos worker faults, kept parent-
+    #: side purely for accounting (FaultInjected events/metrics).
+    _chaos_fault_info: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    #: variant_id -> outcome names of its failed attempts, driving the
+    #: quarantine decision (all-identical failures = poison).
+    _attempt_outcomes: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False)
 
     @classmethod
     def for_model(
@@ -159,6 +224,16 @@ class ParallelOracle(BudgetedOracle):
             evaluator = Evaluator(model, timeout_factor=config.timeout_factor,
                                   seed=config.seed if seed is None else seed,
                                   backend=config.backend)
+        chaos_faults: tuple[tuple[int, str, str], ...] = ()
+        marker_dir: Optional[str] = None
+        plan = getattr(config, "chaos", None)
+        if plan is not None and plan.worker_faults:
+            marker_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+            chaos_faults = tuple(
+                (wf.variant_id, wf.mode,
+                 os.path.join(marker_dir, f"wf-{wf.variant_id}.marker")
+                 if wf.once else "")
+                for wf in plan.worker_faults)
         name, kwargs = model.model_spec()
         spec = WorkerSpec(
             model_name=name,
@@ -168,9 +243,15 @@ class ParallelOracle(BudgetedOracle):
             noise=evaluator.noise,
             fault=fault,
             backend=getattr(evaluator, "backend", config.backend),
+            chaos_faults=chaos_faults,
         )
-        return cls(evaluator=evaluator, config=config, cache=cache,
-                   workers=config.workers, spec=spec)
+        oracle = cls(evaluator=evaluator, config=config, cache=cache,
+                     workers=config.workers, spec=spec)
+        oracle._marker_dir = marker_dir
+        if plan is not None:
+            oracle._chaos_fault_info = {wf.variant_id: (wf.mode, wf.once)
+                                        for wf in plan.worker_faults}
+        return oracle
 
     # -- pool lifecycle -------------------------------------------------
 
@@ -199,16 +280,63 @@ class ParallelOracle(BudgetedOracle):
             except Exception:       # pragma: no cover - best-effort kill
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
+        self._reap(procs, grace=1.0)
+
+    @staticmethod
+    def _reap(procs, grace: float) -> None:
+        """Wait briefly for workers to exit, then escalate: terminate,
+        then SIGKILL.  Bounded by construction — a hung worker (one
+        ignoring its executor sentinel forever) costs at most *grace*
+        plus the escalation joins, never an indefinite wait."""
+        deadline = time.monotonic() + max(0.0, grace)
         for proc in procs:
             try:
-                proc.join(1.0)
+                proc.join(max(0.0, deadline - time.monotonic()))
             except Exception:       # pragma: no cover - best-effort reap
+                pass
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+            except Exception:       # pragma: no cover
+                pass
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    proc.join(1.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(1.0)
+            except Exception:       # pragma: no cover
                 pass
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        # Watchdog close: never `shutdown(wait=True)` — a hung worker
+        # would wedge the campaign's own teardown.  Reap with a bounded
+        # grace period and escalating force instead.
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._reap(procs, grace=self.config.pool_reap_seconds)
+        self._cleanup_fault_markers()
+
+    def _cleanup_fault_markers(self) -> None:
+        """Remove one-shot fault marker files (legacy ``fault=*_once``
+        arg and the chaos marker directory).  Markers are scoped to the
+        oracle/pool lifetime: they must survive pool rebuilds between
+        retries — that is how "once" is remembered — but were previously
+        left behind in shared tmp dirs after close."""
+        spec = self.spec
+        if (spec is not None and spec.fault is not None
+                and spec.fault[0].endswith("_once") and spec.fault[1]):
+            try:
+                os.unlink(spec.fault[1])
+            except OSError:
+                pass
+        marker_dir, self._marker_dir = self._marker_dir, None
+        if marker_dir:
+            shutil.rmtree(marker_dir, ignore_errors=True)
 
     # -- batch evaluation -----------------------------------------------
 
@@ -330,11 +458,27 @@ class ParallelOracle(BudgetedOracle):
         max_attempts = 1 + max(0, self.config.worker_retries)
         pending = [(a, vid, 0) for a, vid in tasks]
 
+        # Chaos accounting: worker faults fire inside the workers (no
+        # engine there); note them parent-side so FaultInjected events
+        # and the chaos metrics see them.
+        engine = active_engine()
+        if engine is not None and self._chaos_fault_info:
+            for _, vid in tasks:
+                info = self._chaos_fault_info.get(vid)
+                if info is not None:
+                    engine.note_worker_fault(vid, info[0], info[1])
+
+        breaker = max(1, self.config.pool_breaker_threshold)
+        pool_deaths = 0   # consecutive rounds: pool died, nothing finished
         while pending:
             # Between retry rounds: back off before re-attempting failed
             # work, and honour a pending graceful-shutdown request
             # (everything journaled so far survives for the resume).
             self._check_interrupt()
+            if pool_deaths >= breaker:
+                self._trip_breaker(pending, results, synthesized, stats,
+                                   pool_deaths)
+                break
             retry_round = max((att for _, _, att in pending), default=0)
             if retry_round > 0 and self.config.retry_backoff_seconds > 0:
                 delay = min(
@@ -346,21 +490,36 @@ class ParallelOracle(BudgetedOracle):
                     retry_round=retry_round, seconds=delay))
                 time.sleep(delay)
             pool = self._ensure_pool()
-            futures = [(a, vid, attempts,
-                        pool.submit(_worker_evaluate, a.key(), vid))
-                       for a, vid, attempts in pending]
+            completed_before = stats.completed
+            try:
+                futures = [(a, vid, attempts,
+                            pool.submit(_worker_evaluate, a.key(), vid))
+                           for a, vid, attempts in pending]
+            except BrokenExecutor:
+                # The pool broke between rounds without surfacing a
+                # BrokenExecutor during the previous harvest.  Nothing
+                # was dispatched; count a pool death and re-round.
+                self._kill_pool()
+                pool_deaths += 1
+                continue
             pending = []
             pool_down = False
             for a, vid, attempts, fut in futures:
                 if pool_down:
                     # The pool died earlier in this round.  Harvest
                     # results that completed before the failure; requeue
-                    # the rest without penalty (not their fault).
+                    # the rest without penalty (not their fault).  A
+                    # cancelled future (CancelledError is a
+                    # BaseException since py3.8 — a bare `except
+                    # Exception` would let it crash the campaign) counts
+                    # as never-started: requeue.
                     if fut.done():
                         try:
                             results[vid] = fut.result(timeout=0)
                             stats.completed += 1
                             continue
+                        except CancelledError:
+                            pass
                         except Exception:
                             pass
                     pending.append((a, vid, attempts))
@@ -376,6 +535,15 @@ class ParallelOracle(BudgetedOracle):
                         a, vid, attempts, Outcome.TIMEOUT,
                         "worker exceeded the hard per-variant timeout",
                         pending, results, synthesized, stats, max_attempts)
+                except CancelledError:
+                    # The executor cancelled this future because a
+                    # sibling broke the pool (the BrokenExecutor may
+                    # surface on a *later* future, or on none at all):
+                    # tear the pool down now so the next round rebuilds
+                    # it, and requeue without penalty.
+                    self._kill_pool()
+                    pool_down = True
+                    pending.append((a, vid, attempts))
                 except BrokenExecutor:
                     self._kill_pool()
                     pool_down = True
@@ -391,12 +559,17 @@ class ParallelOracle(BudgetedOracle):
                         a, vid, attempts, Outcome.RUNTIME_ERROR,
                         f"worker raised {type(exc).__name__}: {exc}",
                         pending, results, synthesized, stats, max_attempts)
+            if pool_down and stats.completed == completed_before:
+                pool_deaths += 1
+            else:
+                pool_deaths = 0
         return results, synthesized
 
     def _record_failure(self, assignment, vid, attempts, outcome, reason,
                         pending, results, synthesized, stats,
                         max_attempts) -> None:
         attempts += 1
+        self._attempt_outcomes.setdefault(vid, []).append(outcome.name)
         if attempts < max_attempts:
             stats.retries += 1
             self.bus.emit(WorkerRetry(
@@ -406,9 +579,51 @@ class ParallelOracle(BudgetedOracle):
             return
         stats.failures += 1
         synthesized.add(vid)
+        if (self.config.quarantine and attempts >= 2
+                and len(set(self._attempt_outcomes[vid])) == 1):
+            # Deterministic poison: every attempt failed the same way.
+            # One failure could be transient; identical repeats mean the
+            # variant itself is the trigger, so record a permanent typed
+            # failure and journal it — a resumed campaign replays the
+            # quarantine instead of re-poisoning a fresh pool.  (Still
+            # in `synthesized`: the record must not enter the cache or
+            # be double-journaled as an ordinary variant.)
+            record = self.evaluator.quarantine_record(
+                assignment, vid, outcome, attempts, reason)
+            results[vid] = record
+            stats.quarantined += 1
+            if self.journal is not None:
+                self.journal.quarantine(len(self.telemetry), record,
+                                        reason=reason)
+            self.bus.emit(VariantQuarantined(
+                batch_index=len(self.telemetry), variant_id=vid,
+                outcome=outcome.name, attempts=attempts, reason=reason))
+            return
         self.bus.emit(WorkerFailure(
             batch_index=len(self.telemetry), variant_id=vid,
             outcome=outcome.name, reason=reason))
         results[vid] = self.evaluator.failure_record(
             assignment, vid, outcome,
             note=f"{reason} ({attempts} attempts)")
+
+    def _trip_breaker(self, pending, results, synthesized, stats,
+                      pool_deaths) -> None:
+        """Stop fighting dead infrastructure: downgrade everything still
+        pending in one step.  The records are synthesized (never cached
+        or journaled), so a resumed campaign on healthy hardware simply
+        re-evaluates them."""
+        self.bus.emit(CircuitBreakerOpen(
+            batch_index=len(self.telemetry), pool_failures=pool_deaths,
+            pending=len(pending)))
+        reason = (f"worker pool unavailable ({pool_deaths} consecutive "
+                  f"pool failures); circuit breaker open")
+        for assignment, vid, attempts in pending:
+            stats.failures += 1
+            synthesized.add(vid)
+            self.bus.emit(WorkerFailure(
+                batch_index=len(self.telemetry), variant_id=vid,
+                outcome=Outcome.RUNTIME_ERROR.name, reason=reason))
+            results[vid] = self.evaluator.failure_record(
+                assignment, vid, Outcome.RUNTIME_ERROR,
+                note=f"{reason} ({attempts + 1} attempts)")
+        pending.clear()

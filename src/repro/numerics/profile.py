@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
@@ -141,12 +140,15 @@ class NumericalProfile:
         return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
 
     def save(self, path: str | Path) -> Path:
-        """Atomically write the artifact (tmp + rename, journal-style)."""
+        """Atomically write the artifact via the shared state-file
+        helper (tmp + fsync + rename, journal-style)."""
+        # Late import: this module stays interpreter-layer-free, and
+        # repro.core.ioutil is only needed when actually persisting.
+        from ..core.ioutil import atomic_write
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(self.to_json() + "\n")
-        os.replace(tmp, path)
+        atomic_write(path, self.to_json() + "\n", kind="profile")
         return path
 
     @classmethod

@@ -24,7 +24,8 @@ from .collectors import MetricsCollector
 from .console import ConsoleRenderer
 from .events import (BackendSelected, BatchCompleted, BatchStarted,
                      CacheWarnings, CampaignFinished, CampaignStarted,
-                     PreprocessingDone, ProfileComputed, VariantEvaluated,
+                     CircuitBreakerOpen, FaultInjected, PreprocessingDone,
+                     ProfileComputed, VariantEvaluated, VariantQuarantined,
                      WorkerBackoff, WorkerFailure, WorkerRetry)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       render_prometheus)
@@ -38,6 +39,7 @@ __all__ = [
     "CampaignFinished", "CampaignStarted", "PreprocessingDone",
     "ProfileComputed",
     "VariantEvaluated", "WorkerBackoff", "WorkerFailure", "WorkerRetry",
+    "FaultInjected", "VariantQuarantined", "CircuitBreakerOpen",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_prometheus",
     "StageTotals", "TraceSummary", "summarize_trace",
     "TRACE_FILE", "Span", "Tracer", "load_trace",

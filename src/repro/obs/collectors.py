@@ -27,8 +27,9 @@ from __future__ import annotations
 
 from .bus import EventBus
 from .events import (BackendSelected, BatchCompleted, CacheWarnings,
-                     CampaignFinished, PreprocessingDone, ProfileComputed,
-                     VariantEvaluated, WorkerBackoff, WorkerFailure,
+                     CampaignFinished, CircuitBreakerOpen, FaultInjected,
+                     PreprocessingDone, ProfileComputed, VariantEvaluated,
+                     VariantQuarantined, WorkerBackoff, WorkerFailure,
                      WorkerRetry)
 from .metrics import MetricsRegistry
 
@@ -45,7 +46,8 @@ class MetricsCollector:
         bus.subscribe(self, (VariantEvaluated, BatchCompleted,
                              BackendSelected, PreprocessingDone,
                              ProfileComputed, CacheWarnings, WorkerRetry,
-                             WorkerBackoff, WorkerFailure,
+                             WorkerBackoff, WorkerFailure, FaultInjected,
+                             VariantQuarantined, CircuitBreakerOpen,
                              CampaignFinished))
 
     # ------------------------------------------------------------------
@@ -113,6 +115,18 @@ class MetricsCollector:
             pass  # aggregated via BatchCompleted.telemetry.backoff_seconds
         elif isinstance(event, WorkerFailure):
             pass  # aggregated via BatchCompleted.telemetry.failures
+        elif isinstance(event, FaultInjected):
+            reg.counter("repro_chaos_faults_total",
+                        "faults injected by the chaos engine",
+                        kind=event.kind, mode=event.mode).inc()
+        elif isinstance(event, VariantQuarantined):
+            reg.counter("repro_quarantined_variants_total",
+                        "poison variants recorded as permanent typed "
+                        "failures", outcome=event.outcome).inc()
+        elif isinstance(event, CircuitBreakerOpen):
+            reg.counter("repro_circuit_breaker_opens_total",
+                        "batches where pool rebuilding was abandoned "
+                        "after consecutive pool deaths").inc()
         elif isinstance(event, CampaignFinished):
             reg.gauge("repro_campaign_finished",
                       "1 when the search ran to completion"

@@ -25,6 +25,7 @@ __all__ = [
     "CampaignStarted", "BackendSelected", "PreprocessingDone",
     "ProfileComputed", "CacheWarnings", "BatchStarted", "BatchCompleted",
     "VariantEvaluated", "WorkerRetry", "WorkerBackoff", "WorkerFailure",
+    "FaultInjected", "VariantQuarantined", "CircuitBreakerOpen",
     "CampaignFinished",
 ]
 
@@ -171,6 +172,52 @@ class WorkerFailure:
     variant_id: int
     outcome: str
     reason: str
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """The chaos engine (:mod:`repro.chaos`) injected a scheduled fault.
+
+    ``kind`` is ``"crash_point"`` (SIGKILL at a named kill site),
+    ``"worker"`` (a worker-side crash/hang/raise armed for one
+    variant), or ``"io"`` (a sabotaged state-file write).  ``site``
+    names the crash point, ``variant:<id>``, or the I/O target;
+    ``hit`` is the 1-based logical index the fault keyed on.  Only
+    emitted under an installed fault plan — a chaos-free campaign
+    never sees this event.
+    """
+
+    kind: str
+    site: str
+    mode: str
+    hit: int = 1
+
+
+@dataclass(frozen=True)
+class VariantQuarantined:
+    """A variant failed identically on every attempt and was recorded
+    as a permanent typed failure (poison), letting the search continue
+    instead of wedging or silently retrying forever.  The quarantine is
+    journaled, so a resumed campaign serves the same failure record
+    without re-poisoning its worker pool."""
+
+    batch_index: int
+    variant_id: int
+    outcome: str
+    attempts: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class CircuitBreakerOpen:
+    """The parallel oracle saw too many consecutive pool deaths without
+    a single completed evaluation and stopped rebuilding the pool for
+    this batch: remaining variants are downgraded immediately rather
+    than burning the retry budget against infrastructure that is down."""
+
+    batch_index: int
+    pool_failures: int
+    pending: int
 
 
 @dataclass(frozen=True)

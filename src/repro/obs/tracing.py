@@ -74,6 +74,10 @@ class Tracer:
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
             self.path = self.trace_dir / TRACE_FILE
+            # Late import: repro.obs stays import-free of repro.core at
+            # module level; ioutil is a leaf with no obs dependency.
+            from ..core.ioutil import seal_torn_tail
+            seal_torn_tail(self.path)
             self._fh = self.path.open("a")
             self._write({"type": "header", "format": TRACE_FORMAT,
                          "session_start": time.time(),
@@ -150,9 +154,19 @@ class Tracer:
         })
 
     def _write(self, entry: dict) -> None:
-        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        from ..core.ioutil import append_line
+        try:
+            append_line(self._fh, json.dumps(entry, sort_keys=True),
+                        kind="trace")
+        except OSError:
+            # Tracing is advisory: a full or failing disk degrades this
+            # session to in-memory span accounting (spans_written keeps
+            # counting) instead of killing the campaign.
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
 
     def close(self) -> None:
         if self._fh is not None:

@@ -27,6 +27,12 @@ def pytest_addoption(parser):
         "--fuzz-count", type=int, default=None,
         help="number of random programs to run through both execution "
              "backends (default: the suite's standard budget)")
+    chaos = parser.getgroup("chaos", "fault-injection chaos testing")
+    chaos.addoption(
+        "--chaos-seed", type=int, default=None,
+        help="seed for tests/test_chaos_matrix.py's random fault-plan "
+             "generator (default: the suite's fixed seed; CI also runs "
+             "one fresh seed per workflow run)")
 
 
 @pytest.fixture(scope="session")

@@ -394,6 +394,98 @@ class TestJournalArtifacts:
         assert any("snapshot" in w for w in state.warnings)
 
 
+class TestTornTailSealing:
+    """A crash mid-append can leave the journal's (or cache's) final
+    line without a newline.  The loader already skips it; the *writer*
+    must also seal it before appending, or the resumed process's first
+    append would be swallowed into the torn line and lost."""
+
+    def test_resumed_journal_seals_the_tear_before_appending(
+            self, funarc_baseline, tmp_path):
+        journal_dir = tmp_path / "journal"
+        with pytest.raises(Boom):
+            run_campaign(_funarc(),
+                         _config(journal_dir=str(journal_dir),
+                                 subscribers=(_kill_after(1),)))
+        path = journal_dir / "journal.jsonl"
+        with path.open("a") as fh:
+            fh.write('{"type": "variant", "batch": 2, "rec')
+        assert not path.read_bytes().endswith(b"\n")
+
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=str(journal_dir),
+                                       resume=True))
+        _assert_resumed(resumed, funarc_baseline, 1)
+        # The resumed writer's appends landed on their own lines: the
+        # file parses back to one torn line and nothing else lost.
+        lines = path.read_text().splitlines()
+        torn = sum(1 for line in lines
+                   if _is_unparseable(line))
+        assert torn == 1
+        state = JournalState.load(journal_dir)
+        assert sum("torn journal line" in w
+                   for w in state.load_warnings) == 1
+        assert state.finished
+
+    def test_cache_seals_the_tear_before_appending(self, tmp_path):
+        from repro.core import Evaluator, ResultCache
+
+        case = _funarc()
+        evaluator = Evaluator(case)
+        cache = ResultCache.for_evaluator(tmp_path, evaluator)
+        first = evaluator.evaluate_assigned(case.space.all_single(), 0)
+        cache.put(first)
+        with cache.path.open("a") as fh:
+            fh.write('{"context": "torn by a killed wr')
+
+        resumed = ResultCache.for_evaluator(tmp_path, evaluator)
+        second = evaluator.evaluate_assigned(case.space.baseline(), 1)
+        resumed.put(second)
+
+        reread = ResultCache.for_evaluator(tmp_path, evaluator)
+        assert reread.get(first.kinds, 0) is not None
+        assert reread.get(second.kinds, 1) is not None
+        assert sum("interrupted write" in w
+                   for w in reread.load_warnings) == 1
+
+
+def _is_unparseable(line: str) -> bool:
+    try:
+        json.loads(line)
+        return False
+    except json.JSONDecodeError:
+        return True
+
+
+class TestCorruptSnapshotResume:
+    """Satellite: resume must shrug off every snapshot failure mode —
+    the journal alone is the source of truth."""
+
+    @pytest.mark.parametrize("damage", [
+        "",                                  # zero-byte (torn replace)
+        '{"phase": "sea',                    # half-written JSON
+        "\x00\x89CHAOS\xffgarbage",          # corrupted bytes
+    ], ids=["empty", "truncated", "garbage"])
+    def test_resume_with_damaged_snapshot(self, funarc_baseline, tmp_path,
+                                          damage):
+        journal_dir = tmp_path / "journal"
+        with pytest.raises(Boom):
+            run_campaign(_funarc(),
+                         _config(journal_dir=str(journal_dir),
+                                 subscribers=(_kill_after(2),)))
+        (journal_dir / "snapshot.json").write_text(damage)
+        # A stray tmp from an atomic replace the crash interrupted.
+        (journal_dir / "snapshot.json.tmp").write_text('{"phase": ')
+
+        resumed = run_campaign(_funarc(),
+                               _config(journal_dir=str(journal_dir),
+                                       resume=True))
+        _assert_resumed(resumed, funarc_baseline, 2)
+        # The completed resume replaced the damaged snapshot atomically.
+        final = json.loads((journal_dir / "snapshot.json").read_text())
+        assert final["phase"] == "final"
+
+
 class TestRetryBackoff:
     def test_exponential_backoff_between_retry_rounds(self):
         case = FunarcCase(n=150)
