@@ -20,12 +20,14 @@ registered crash point, killed and resumed, must yield
 """
 
 from .engine import ChaosEngine
-from .hooks import CRASH_POINTS, crash_point, registered_crash_points
+from .hooks import (CRASH_POINTS, campaign_crash_points, crash_point,
+                    registered_crash_points)
 from .plan import (FaultPlan, IOFault, KillAt, WorkerFault,
                    IO_FAULT_MODES, IO_TARGETS, WORKER_FAULT_MODES)
 
 __all__ = [
     "ChaosEngine", "CRASH_POINTS", "crash_point",
-    "registered_crash_points", "FaultPlan", "IOFault", "KillAt",
-    "WorkerFault", "IO_FAULT_MODES", "IO_TARGETS", "WORKER_FAULT_MODES",
+    "registered_crash_points", "campaign_crash_points", "FaultPlan",
+    "IOFault", "KillAt", "WorkerFault", "IO_FAULT_MODES", "IO_TARGETS",
+    "WORKER_FAULT_MODES",
 ]

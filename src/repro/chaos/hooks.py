@@ -26,7 +26,8 @@ from __future__ import annotations
 from typing import Optional
 
 __all__ = ["CRASH_POINTS", "crash_point", "registered_crash_points",
-           "install", "uninstall", "active_engine"]
+           "campaign_crash_points", "install", "uninstall",
+           "active_engine"]
 
 #: name -> where the kill lands (the failure the matrix cell simulates).
 CRASH_POINTS: dict[str, str] = {
@@ -60,6 +61,29 @@ CRASH_POINTS: dict[str, str] = {
     "campaign.finish": (
         "after the journal is finalized and closed, before the result "
         "object is returned to the caller"),
+    # -- campaign service (repro.service) kill sites -------------------
+    # The ``service.`` prefix partitions the registry: the campaign
+    # matrix (tests/test_chaos_matrix.py::TestCrashPointMatrix) covers
+    # the unprefixed points inside one funarc campaign, and the service
+    # matrix (TestServiceCrashMatrix) kills a whole job-queue server at
+    # each of these and requires a restart to lose no accepted job.
+    "service.journal_header": (
+        "before the service-journal header is appended: the state "
+        "directory exists but records nothing; a restart starts fresh"),
+    "service.journal_submit": (
+        "before a job's 'submitted' entry is appended: the spec was "
+        "received but never became durable, so the client was never "
+        "acked — an idempotent resubmission recreates it"),
+    "service.journal_start": (
+        "before a job's 'started' entry is appended: the job stays "
+        "queued and a restarted server dispatches it from scratch"),
+    "service.result_write": (
+        "before the job's result.json is atomically published: the "
+        "campaign journal holds the whole search, so a restart resumes "
+        "the job and replays it to identical bytes at ~0 cost"),
+    "service.journal_finish": (
+        "after result.json landed, before the 'finished' entry: the "
+        "job looks orphaned and is resumed, rewriting identical bytes"),
 }
 
 #: The installed engine (or None).  Written only by install/uninstall;
@@ -83,9 +107,26 @@ def active_engine():
     return _ACTIVE
 
 
-def registered_crash_points() -> tuple[str, ...]:
-    """All registered crash-point names, sorted (the matrix rows)."""
-    return tuple(sorted(CRASH_POINTS))
+def registered_crash_points(prefix: Optional[str] = None
+                            ) -> tuple[str, ...]:
+    """Registered crash-point names, sorted (the matrix rows).
+
+    *prefix* selects one partition of the registry: ``"service."`` for
+    the job-queue server's kill sites, ``""`` for every point.  The
+    campaign matrix iterates the non-service points (they must all be
+    reachable inside one funarc campaign); the service matrix iterates
+    the ``service.`` points against a whole server.
+    """
+    names = sorted(CRASH_POINTS)
+    if prefix is not None:
+        names = [n for n in names if n.startswith(prefix)]
+    return tuple(names)
+
+
+def campaign_crash_points() -> tuple[str, ...]:
+    """The points reachable inside one campaign (the original matrix)."""
+    return tuple(n for n in sorted(CRASH_POINTS)
+                 if not n.startswith("service."))
 
 
 def crash_point(name: str) -> None:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-from .hooks import registered_crash_points
+from .hooks import campaign_crash_points, registered_crash_points
 
 __all__ = ["KillAt", "WorkerFault", "IOFault", "FaultPlan",
            "WORKER_FAULT_MODES", "IO_FAULT_MODES", "IO_TARGETS"]
@@ -36,7 +36,11 @@ WORKER_FAULT_MODES = ("crash", "hang", "raise")
 
 #: State-file kinds whose writes the engine can sabotage.  Each maps to
 #: the ``kind=`` tag the owning layer passes to repro.core.ioutil.
-IO_TARGETS = ("journal", "cache", "trace", "snapshot", "metrics", "profile")
+#: ``service`` covers the job-queue server's state files (service
+#: journal appends and result.json publication) — like ``journal``, a
+#: refused service write is a correct hard error, not a recoverable one.
+IO_TARGETS = ("journal", "cache", "trace", "snapshot", "metrics", "profile",
+              "service")
 
 #: ``torn_kill`` — write a prefix of the payload, fsync it, SIGKILL the
 #: process (produces exactly the torn-tail artifact satellite 1 must
@@ -196,7 +200,9 @@ class FaultPlan:
         io_faults: list[IOFault] = []
 
         if rng.random() < 0.8:
-            point = rng.choice(registered_crash_points())
+            # Random plans target a single campaign, so only the points
+            # reachable inside one (service.* points need a server).
+            point = rng.choice(campaign_crash_points())
             kills.append(KillAt(point=point, hit=rng.randint(1, 3)))
         for _ in range(rng.randint(0, 2)):
             worker_faults.append(WorkerFault(

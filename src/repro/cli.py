@@ -11,7 +11,12 @@ Commands mirror the paper's workflow stages:
 ``reduce MODEL``    show the taint-based program reduction (paper §III-C)
 ``chaos MODEL``     run a campaign under a deterministic fault plan, then
                     resume it chaos-free (and ``--verify`` byte-identity)
-``doctor DIR``      triage a campaign state directory after a crash
+``doctor DIR``      triage a campaign *or service* state directory after
+                    a crash (auto-detected by what the directory holds)
+``serve DIR``       run the campaign job-queue service (HTTP + SSE)
+``submit MODEL``    submit a campaign job to a running service
+``jobs``            list a service's jobs (optionally one tenant's)
+``watch JOB``       stream a job's live events (SSE) from a service
 
 Flag conventions: directory-valued knobs are uniformly ``--cache-dir``
 / ``--journal-dir`` / ``--trace-dir``; the execution knobs
@@ -32,9 +37,8 @@ from typing import Optional
 
 from .analysis import assess_hotspot, build_dataflow
 from .errors import ReproError
-from .core import (CampaignConfig, DeltaDebugSearch, Evaluator,
-                   HierarchicalSearch, ProfileGuidedSearch, RandomSearch,
-                   ScreenedDeltaDebug, make_oracle, run_campaign)
+from .core import (ALGORITHMS, CampaignConfig, has_journal, make_algorithm,
+                   make_oracle, run_campaign, run_or_resume)
 from .core.results import save_records
 from .fortran import reduce_program, unparse
 from .models import MODEL_FACTORIES, get_model
@@ -107,9 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tune", parents=[execution],
                        help="run a precision-tuning search")
     p.add_argument("model")
-    p.add_argument("--algorithm", default="dd",
-                   choices=["dd", "random", "hierarchical", "screened",
-                            "profile"],
+    p.add_argument("--algorithm", default="dd", choices=list(ALGORITHMS),
                    help="search strategy (default: delta debugging; "
                         "'profile' is the profile-guided search, which "
                         "computes or loads a numerical profile first)")
@@ -200,14 +202,80 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated wall-clock budget (default 12h)")
 
     p = sub.add_parser("doctor",
-                       help="triage a campaign state directory after a "
-                            "crash: is it resumable, and what to expect")
-    p.add_argument("dir", help="journal directory (--journal-dir of the "
-                               "dead campaign)")
+                       help="triage a campaign or service state directory "
+                            "after a crash: is it resumable, and what to "
+                            "expect")
+    p.add_argument("dir", help="campaign journal directory, or a service "
+                               "state directory (auto-detected by its "
+                               "service.jsonl)")
     p.add_argument("--cache-dir", default=None,
-                   help="also check this persistent variant cache")
+                   help="also check this persistent variant cache "
+                        "(campaign directories only)")
     p.add_argument("--trace-dir", default=None,
-                   help="also check this span-trace directory")
+                   help="also check this span-trace directory "
+                        "(campaign directories only)")
+
+    endpoint = argparse.ArgumentParser(add_help=False)
+    g = endpoint.add_argument_group("service endpoint")
+    g.add_argument("--host", default="127.0.0.1",
+                   help="service host (default 127.0.0.1)")
+    g.add_argument("--port", type=int, default=8765,
+                   help="service port (default 8765)")
+
+    p = sub.add_parser("serve",
+                       help="run the campaign job-queue service: accepts "
+                            "job specs over HTTP, schedules them across a "
+                            "bounded worker fleet, streams live events "
+                            "over SSE, and survives SIGKILL via its "
+                            "write-ahead service journal")
+    p.add_argument("state_dir",
+                   help="durable state directory (service journal, "
+                        "per-job campaign journals, results)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listen port (default 8765; 0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent campaign slots (default 1; dispatch "
+                        "order is deterministic at any width)")
+
+    p = sub.add_parser("submit", parents=[endpoint],
+                       help="submit a campaign job to a running service")
+    p.add_argument("model", nargs="?",
+                   help="model name (see `repro list`); omit with --spec")
+    p.add_argument("--spec", default=None, metavar="FILE",
+                   help="submit this JobSpec JSON file verbatim instead "
+                        "of building one from flags")
+    p.add_argument("--tenant", default="default",
+                   help="tenant for fair-share scheduling (default: "
+                        "'default')")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher dispatches earlier within the tenant "
+                        "(default 0)")
+    p.add_argument("--algorithm", default="dd", choices=list(ALGORITHMS))
+    p.add_argument("--max-evals", type=int, default=600)
+    p.add_argument("--budget-hours", type=float, default=12.0)
+    p.add_argument("--backend", default="compiled",
+                   choices=["compiled", "tree"])
+    p.add_argument("--json", action="store_true",
+                   help="emit the server's response JSON on stdout")
+
+    p = sub.add_parser("jobs", parents=[endpoint],
+                       help="list a running service's jobs")
+    p.add_argument("--tenant", default=None,
+                   help="only this tenant's jobs")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw job records as JSON")
+
+    p = sub.add_parser("watch", parents=[endpoint],
+                       help="stream a job's events (history, then live) "
+                            "until it reaches a terminal state")
+    p.add_argument("job_id")
+    p.add_argument("--result", action="store_true",
+                   help="after the job finishes, print its exact "
+                        "result.json bytes on stdout")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="give up after this many idle seconds "
+                        "(default 600)")
 
     return parser
 
@@ -333,18 +401,9 @@ def _cmd_tune(args) -> int:
         case.error_threshold = args.threshold
     say(case.describe())
 
-    if args.algorithm == "random":
-        algorithm = RandomSearch(samples=args.max_evals // 2)
-    elif args.algorithm == "hierarchical":
-        algorithm = HierarchicalSearch()
-    elif args.algorithm == "screened":
-        algorithm = ScreenedDeltaDebug.for_model(case)
-    elif args.algorithm == "profile":
-        # Singleton demotions the profile already measured above the
-        # correctness threshold are pruned without dynamic evaluation.
-        algorithm = ProfileGuidedSearch(prune_above=case.error_threshold)
-    else:
-        algorithm = DeltaDebugSearch()
+    # One construction path shared with the campaign service: a job
+    # submitted over HTTP must build the identical algorithm.
+    algorithm = make_algorithm(args.algorithm, case, args.max_evals)
 
     if args.resume and not args.journal_dir:
         raise SystemExit("error: --resume requires --journal-dir")
@@ -550,10 +609,8 @@ def _cmd_chaos(args) -> int:
         print(f"chaos run: child exited {proc.exitcode}", file=sys.stderr)
         return 1
 
-    journal_file = Path(journal_dir) / "journal.jsonl"
-    resume = journal_file.exists() and journal_file.stat().st_size > 0
-    resumed = run_campaign(get_model(args.model),
-                           CampaignConfig(resume=resume, **base))
+    resume = has_journal(journal_dir)
+    resumed = run_or_resume(get_model(args.model), CampaignConfig(**base))
     label = ("resumed" if resume else
              "restarted (empty journal: killed before the header landed)")
     summary = resumed.summary()
@@ -578,12 +635,125 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_doctor(args) -> int:
-    from .chaos.doctor import diagnose
+    from .service.doctor import diagnose_service, is_service_dir
 
-    report = diagnose(args.dir, cache_dir=args.cache_dir,
-                      trace_dir=args.trace_dir)
+    if is_service_dir(args.dir):
+        if args.cache_dir or args.trace_dir:
+            print("note: --cache-dir/--trace-dir ignored for service "
+                  "state directories", file=sys.stderr)
+        report = diagnose_service(args.dir)
+    else:
+        from .chaos.doctor import diagnose
+        report = diagnose(args.dir, cache_dir=args.cache_dir,
+                          trace_dir=args.trace_dir)
     print(report.render())
     return 0 if report.healthy else 1
+
+
+def _cmd_serve(args) -> int:
+    from .service import CampaignService, ServiceServer
+
+    service = CampaignService(args.state_dir)
+    for warning in service.load_warnings:
+        print(f"recovery: {warning}", file=sys.stderr)
+    server = ServiceServer(service, host=args.host, port=args.port,
+                           workers=args.workers)
+
+    import asyncio
+
+    async def serve() -> None:
+        await server.start()
+        # Printed *after* the port is bound (supports --port 0), and
+        # flushed so readiness loops in CI can poll for it.
+        print(f"campaign service: http://{server.host}:{server.port} "
+              f"(state: {args.state_dir}, workers: {args.workers})",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("campaign service: interrupted; state journaled — restart "
+              "to resume", file=sys.stderr)
+    return 0
+
+
+def _build_spec(args):
+    from .service import JobSpec
+
+    if args.spec:
+        return JobSpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    if not args.model:
+        raise SystemExit("error: MODEL is required unless --spec FILE")
+    config = CampaignConfig(
+        wall_budget_seconds=args.budget_hours * 3600.0,
+        max_evaluations=args.max_evals,
+        backend=args.backend)
+    return JobSpec(model=args.model, tenant=args.tenant,
+                   priority=args.priority, algorithm=args.algorithm,
+                   config=config)
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceClient
+
+    spec = _build_spec(args)
+    client = ServiceClient(args.host, args.port)
+    resp = client.submit(spec)
+    if args.json:
+        print(json.dumps(resp, sort_keys=True))
+    else:
+        note = " (attached to existing job)" if resp["deduplicated"] else ""
+        print(f"job {resp['job_id']} {resp['state']}{note}")
+        print(f"watch with: repro watch {resp['job_id']} "
+              f"--host {args.host} --port {args.port}")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .service import ServiceClient
+
+    jobs = ServiceClient(args.host, args.port).jobs(args.tenant)
+    if args.json:
+        print(json.dumps({"jobs": jobs}, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'JOB':16s} {'STATE':8s} {'TENANT':12s} {'PRI':>3s} "
+          f"{'MODEL':12s} {'ALGO':10s} {'EVALS':>5s}  DETAIL")
+    for job in jobs:
+        detail = job["error"] or (
+            f"digest {job['result_digest'][:12]}" if job["result_digest"]
+            else "")
+        print(f"{job['job_id']:16s} {job['state']:8s} "
+              f"{job['tenant']:12s} {job['priority']:3d} "
+              f"{job['model']:12s} {job['algorithm']:10s} "
+              f"{job['evaluations']:5d}  {detail}")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    terminal = None
+    for payload in client.watch(args.job_id, timeout=args.timeout):
+        name, data = payload["event"], payload["data"]
+        if name in ("JobFinished", "JobFailed"):
+            terminal = name
+        line = ", ".join(f"{k}={v}" for k, v in sorted(data.items())
+                         if not isinstance(v, (dict, list)))
+        print(f"{name}: {line}", file=sys.stderr if args.result
+              else sys.stdout)
+    if args.result:
+        if terminal != "JobFinished":
+            print(f"error: job {args.job_id} did not finish "
+                  f"({terminal or 'stream ended'})", file=sys.stderr)
+            return 1
+        sys.stdout.write(client.result_text(args.job_id))
+        return 0
+    return 0 if terminal == "JobFinished" else 1
 
 
 _COMMANDS = {
@@ -596,6 +766,10 @@ _COMMANDS = {
     "reduce": _cmd_reduce,
     "chaos": _cmd_chaos,
     "doctor": _cmd_doctor,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "watch": _cmd_watch,
 }
 
 

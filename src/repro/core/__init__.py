@@ -9,15 +9,18 @@ speedup and relative-error correctness (`evaluation`, `metrics`,
 wall-clock budgets (`campaign`).
 """
 
+from .algorithms import ALGORITHMS, make_algorithm
 from .assignment import PrecisionAssignment
 from .atoms import SearchAtom, collect_atoms
 from .cache import ResultCache, evaluation_context
-from .campaign import (BatchTelemetry, BudgetedOracle, CampaignConfig,
-                       CampaignResult, CampaignSummary, InterruptFlag,
-                       make_oracle, run_campaign)
+from .campaign import (CONFIG_SCHEMA_VERSION, BatchTelemetry, BudgetedOracle,
+                       CampaignConfig, CampaignResult, CampaignSummary,
+                       InterruptFlag, make_oracle, run_campaign,
+                       run_or_resume)
 from .classification import Outcome
 from .evaluation import STAGES, Evaluator, ProcPerf, VariantRecord
-from .journal import CampaignJournal, JournalState, journal_header
+from .journal import (CampaignJournal, JournalState, has_journal,
+                      journal_header)
 from .parallel import ParallelOracle, WorkerSpec
 from .metrics import (choose_n_runs, l2_over_axis, median_time,
                       relative_error, speedup_eq1)
@@ -28,12 +31,14 @@ from .search import (BruteForceSearch, CampaignInterrupted, DeltaDebugSearch,
                      SearchResult, optimal_frontier)
 
 __all__ = [
-    "PrecisionAssignment", "SearchAtom", "collect_atoms", "BatchTelemetry",
-    "BudgetedOracle", "CampaignConfig", "CampaignResult", "CampaignSummary",
-    "InterruptFlag", "make_oracle", "run_campaign", "Outcome", "STAGES",
-    "Evaluator",
+    "ALGORITHMS", "make_algorithm", "PrecisionAssignment", "SearchAtom",
+    "collect_atoms", "BatchTelemetry", "BudgetedOracle",
+    "CONFIG_SCHEMA_VERSION", "CampaignConfig", "CampaignResult",
+    "CampaignSummary", "InterruptFlag", "make_oracle", "run_campaign",
+    "run_or_resume", "Outcome", "STAGES", "Evaluator",
     "ProcPerf", "VariantRecord", "CampaignJournal", "JournalState",
-    "journal_header", "ParallelOracle", "WorkerSpec", "ResultCache",
+    "has_journal", "journal_header", "ParallelOracle", "WorkerSpec",
+    "ResultCache",
     "evaluation_context", "choose_n_runs", "l2_over_axis", "median_time",
     "relative_error", "speedup_eq1", "SearchSpace", "BruteForceSearch",
     "CampaignInterrupted", "DeltaDebugSearch", "FunctionOracle",

@@ -1,0 +1,42 @@
+"""Search-algorithm selection by name.
+
+The one mapping from an algorithm name — as it appears on the ``repro
+tune --algorithm`` flag and in a campaign-service :class:`~repro
+.service.schema.JobSpec` — to a configured search instance.  Both entry
+points must build *identical* algorithms for the same name, or a job
+submitted over HTTP would not reproduce the bytes of the equivalent
+local run; keeping the construction here makes that a non-decision.
+"""
+
+from __future__ import annotations
+
+from .search import (DeltaDebugSearch, HierarchicalSearch,
+                     ProfileGuidedSearch, RandomSearch, ScreenedDeltaDebug)
+
+__all__ = ["ALGORITHMS", "make_algorithm"]
+
+#: The names ``make_algorithm`` accepts, in CLI-help order.
+ALGORITHMS = ("dd", "random", "hierarchical", "screened", "profile")
+
+
+def make_algorithm(name: str, case, max_evaluations: int = 600):
+    """Build the search algorithm *name* configured for *case*.
+
+    Raises :class:`ValueError` for unknown names (callers translate:
+    argparse ``choices`` already guards the CLI; the service raises a
+    typed :class:`~repro.errors.SpecError` at submission time).
+    """
+    if name == "dd":
+        return DeltaDebugSearch()
+    if name == "random":
+        return RandomSearch(samples=max_evaluations // 2)
+    if name == "hierarchical":
+        return HierarchicalSearch()
+    if name == "screened":
+        return ScreenedDeltaDebug.for_model(case)
+    if name == "profile":
+        # Singleton demotions the profile already measured above the
+        # correctness threshold are pruned without dynamic evaluation.
+        return ProfileGuidedSearch(prune_above=case.error_threshold)
+    raise ValueError(f"unknown algorithm {name!r} "
+                     f"(known: {', '.join(ALGORITHMS)})")

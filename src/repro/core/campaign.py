@@ -49,7 +49,7 @@ from typing import Callable, Optional
 from ..chaos import ChaosEngine, FaultPlan
 from ..chaos import hooks as _chaos_hooks
 from ..chaos.hooks import crash_point
-from ..errors import CampaignError, ReproError
+from ..errors import CampaignError, ConfigSchemaError, ReproError
 from ..obs.bus import EventBus, subscribes_to
 from ..obs.collectors import MetricsCollector
 from ..obs.events import (BackendSelected, BatchCompleted, BatchStarted,
@@ -62,15 +62,29 @@ from .assignment import PrecisionAssignment
 from .cache import ResultCache
 from .classification import Outcome
 from .evaluation import STAGES, Evaluator, VariantRecord
-from .journal import CampaignJournal, JournalState, journal_header
+from .journal import (CampaignJournal, JournalState, has_journal,
+                      journal_header)
 from .results import search_result_to_dict
 from .search.base import (BatchOracle, BudgetExhausted, CampaignInterrupted,
                           SearchResult)
 from .search.deltadebug import DeltaDebugSearch
 
-__all__ = ["CampaignConfig", "CampaignSummary", "CampaignResult",
-           "BatchTelemetry", "BudgetedOracle", "InterruptFlag",
-           "make_oracle", "run_campaign"]
+__all__ = ["CONFIG_SCHEMA_VERSION", "CampaignConfig", "CampaignSummary",
+           "CampaignResult", "BatchTelemetry", "BudgetedOracle",
+           "InterruptFlag", "make_oracle", "run_campaign", "run_or_resume"]
+
+#: Version stamped into every serialized :class:`CampaignConfig`
+#: (``schema_version`` in the wire payload).  Bump it when a wire
+#: field's meaning changes; payloads written by *older* versions keep
+#: loading (absent fields take their pinned defaults, so old job files
+#: replay after upgrades), while payloads from a newer version are
+#: refused rather than silently misread.
+CONFIG_SCHEMA_VERSION = 1
+
+#: Fields that never travel over the wire: live Python objects
+#: (subscriber callables, an installed fault plan) are attached by the
+#: process that runs the campaign, not by the process that submits it.
+_RUNTIME_ONLY_FIELDS = ("subscribers", "chaos")
 
 
 @dataclass(frozen=True)
@@ -182,6 +196,160 @@ class CampaignConfig:
             raise TypeError(
                 f"unknown CampaignConfig field(s): {sorted(unknown)}")
         return dataclasses.replace(self, **overrides)
+
+    # -- wire format (the campaign service's submission schema) ------------
+
+    @classmethod
+    def wire_fields(cls) -> tuple[str, ...]:
+        """Names of the serializable fields, in declaration order."""
+        return tuple(f.name for f in dataclasses.fields(cls)
+                     if f.name not in _RUNTIME_ONLY_FIELDS)
+
+    @classmethod
+    def wire_defaults(cls) -> dict:
+        """The pinned default for every wire field.
+
+        These values are part of the wire contract: an old job file
+        that omits a field replays with the default *that build pinned*,
+        so ``tests/test_service_schema.py`` asserts this dict against a
+        literal — changing a default without bumping
+        :data:`CONFIG_SCHEMA_VERSION` fails there first.
+        """
+        defaults = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in _RUNTIME_ONLY_FIELDS:
+                defaults[f.name] = f.default
+        return defaults
+
+    def to_payload(self) -> dict:
+        """The JSON-ready wire dict (``schema_version`` + wire fields).
+
+        Refuses configs carrying runtime-only state: a config with live
+        subscribers or an installed fault plan is not a value and must
+        not silently lose them in transit.
+        """
+        for name in _RUNTIME_ONLY_FIELDS:
+            if getattr(self, name):
+                raise ConfigSchemaError(
+                    f"CampaignConfig.{name} is runtime-only and cannot "
+                    f"be serialized; attach it on the receiving side")
+        payload = {"schema_version": CONFIG_SCHEMA_VERSION}
+        for name in self.wire_fields():
+            payload[name] = getattr(self, name)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "CampaignConfig":
+        """Validate a wire dict and build the config it describes.
+
+        Unknown keys, runtime-only keys, wrong-typed values, and
+        payloads from a newer schema version all raise
+        :class:`~repro.errors.ConfigSchemaError` — a silently ignored
+        knob is how a submitted job runs with the wrong budget.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigSchemaError(
+                f"campaign config payload must be a JSON object, "
+                f"got {type(payload).__name__}")
+        version = payload.get("schema_version")
+        if version is None:
+            raise ConfigSchemaError(
+                "campaign config payload has no schema_version field")
+        if not isinstance(version, int) or version < 1:
+            raise ConfigSchemaError(
+                f"bad schema_version {version!r} (expected a positive "
+                f"integer)")
+        if version > CONFIG_SCHEMA_VERSION:
+            raise ConfigSchemaError(
+                f"campaign config payload uses schema version {version}; "
+                f"this build reads versions <= {CONFIG_SCHEMA_VERSION} — "
+                f"upgrade before replaying it")
+        wire = set(cls.wire_fields())
+        fields = {}
+        for key, value in payload.items():
+            if key == "schema_version":
+                continue
+            if key in _RUNTIME_ONLY_FIELDS:
+                raise ConfigSchemaError(
+                    f"config field {key!r} is runtime-only and may not "
+                    f"appear in a wire payload")
+            if key not in wire:
+                raise ConfigSchemaError(
+                    f"unknown campaign config field {key!r} "
+                    f"(known: {sorted(wire)})")
+            fields[key] = _check_wire_type(key, value)
+        return cls(**fields)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignConfig":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigSchemaError(
+                f"campaign config payload is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_payload(payload)
+
+
+def _check_wire_type(name: str, value: object) -> object:
+    """Enforce the wire field's pinned type; int-for-float is widened.
+
+    ``bool`` is checked first because it subclasses ``int`` — a config
+    with ``workers: true`` is a bug, not a worker count.
+    """
+    expected = _WIRE_FIELD_TYPES[name]
+    if expected is bool:
+        if isinstance(value, bool):
+            return value
+    elif expected is int:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    elif expected is float:
+        if (isinstance(value, (int, float))
+                and not isinstance(value, bool)):
+            return float(value)
+    elif expected == "str?":
+        if value is None or isinstance(value, str):
+            return value
+    elif expected is str:
+        if isinstance(value, str):
+            return value
+    raise ConfigSchemaError(
+        f"config field {name!r} expects "
+        f"{'str or null' if expected == 'str?' else expected.__name__}, "
+        f"got {value!r}")
+
+
+#: Wire field -> pinned JSON type ("str?" = string or null).  A field
+#: added to CampaignConfig must be classified here (or declared
+#: runtime-only) before it can travel; tests assert the sets match.
+_WIRE_FIELD_TYPES: dict[str, object] = {
+    "nodes": int,
+    "wall_budget_seconds": float,
+    "timeout_factor": float,
+    "min_speedup": float,
+    "max_evaluations": int,
+    "seed": int,
+    "backend": str,
+    "workers": int,
+    "cache_dir": "str?",
+    "worker_timeout_seconds": float,
+    "worker_retries": int,
+    "journal_dir": "str?",
+    "resume": bool,
+    "snapshot_every": int,
+    "handle_signals": bool,
+    "retry_backoff_seconds": float,
+    "retry_backoff_max_seconds": float,
+    "quarantine": bool,
+    "pool_breaker_threshold": int,
+    "pool_reap_seconds": float,
+    "profile_path": "str?",
+    "trace_dir": "str?",
+}
 
 
 @dataclass
@@ -1015,6 +1183,29 @@ def run_campaign(
         cache_warnings=(tuple(oracle.cache.load_warnings)
                         if oracle.cache is not None else cache_warnings),
     )
+
+
+def run_or_resume(
+    model,
+    config: Optional[CampaignConfig] = None,
+    algorithm=None,
+    evaluator: Optional[Evaluator] = None,
+) -> CampaignResult:
+    """Run a campaign, resuming automatically if its journal exists.
+
+    The programmatic form of ``repro chaos``'s restart loop and the
+    primitive the campaign service's workers call: the *caller* does not
+    need to know whether a previous process already worked on this
+    journal directory.  If ``config.journal_dir`` holds a non-empty
+    journal the campaign resumes from it (replaying completed work at
+    ~0 cost); otherwise it starts fresh.  Either way the result bytes
+    are identical to an uninterrupted run.
+    """
+    config = config or CampaignConfig()
+    if config.journal_dir:
+        config = config.overriding(resume=has_journal(config.journal_dir))
+    return run_campaign(model, config, algorithm=algorithm,
+                        evaluator=evaluator)
 
 
 def _snapshot_cadence(journal: CampaignJournal, every: int):

@@ -34,7 +34,7 @@ from typing import IO, Optional, Union
 from ..chaos.hooks import active_engine
 
 __all__ = ["atomic_write", "atomic_write_json", "append_line",
-           "seal_torn_tail", "fsync_directory"]
+           "seal_torn_tail", "fsync_directory", "JsonlAppender"]
 
 #: Replacement payload for chaos-corrupted atomic writes: definitely
 #: not JSON, definitely not empty — the shape of a bad block.
@@ -139,6 +139,41 @@ def append_line(fh: IO[str], line: str, *, kind: str = "state") -> None:
         raise OSError(errno.EIO,
                       f"fsync failed (chaos: {kind}); durability unknown")
     os.fsync(fh.fileno())
+
+
+class JsonlAppender:
+    """Append-only JSONL writer with the journal's write discipline.
+
+    The one way any journal-shaped state file (campaign journal,
+    service journal) is written: canonical ``sort_keys`` JSON, one
+    line per entry, flush + fsync per append via :func:`append_line`.
+    ``seal=True`` terminates a predecessor's torn final line before
+    the first append so a resuming writer can never glue onto a tear.
+    Policy stays with the caller: :meth:`append` raises ``OSError``
+    (including injected ENOSPC/EIO) for the owner to classify as
+    fatal or advisory.
+    """
+
+    def __init__(self, path: Union[str, Path], *, kind: str = "state",
+                 seal: bool = False):
+        self.path = Path(path)
+        self.kind = kind
+        if seal:
+            seal_torn_tail(self.path)
+        self._fh: Optional[IO[str]] = self.path.open("a")
+
+    def append(self, entry: dict) -> None:
+        append_line(self._fh, json.dumps(entry, sort_keys=True),
+                    kind=self.kind)
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
 
 def seal_torn_tail(path: Union[str, Path]) -> bool:

@@ -51,11 +51,12 @@ from typing import Optional
 from ..chaos.hooks import crash_point
 from ..errors import JournalError
 from .evaluation import VariantRecord
-from .ioutil import append_line, atomic_write, seal_torn_tail
+from .ioutil import JsonlAppender, atomic_write
 from .results import record_from_dict, record_to_dict, validate_record_dict
 
 __all__ = ["JOURNAL_FORMAT", "CampaignJournal", "JournalState",
-           "journal_header", "space_fingerprint", "algorithm_fingerprint"]
+           "journal_header", "space_fingerprint", "algorithm_fingerprint",
+           "has_journal"]
 
 JOURNAL_FORMAT = 1
 
@@ -70,6 +71,18 @@ _SNAPSHOT_FILE = "snapshot.json"
 _TRAJECTORY_CONFIG_FIELDS = ("nodes", "wall_budget_seconds",
                              "timeout_factor", "min_speedup",
                              "max_evaluations")
+
+
+def has_journal(directory) -> bool:
+    """True when *directory* holds a non-empty campaign journal — the
+    resumability test shared by ``repro chaos``, the campaign service,
+    and :func:`~repro.core.campaign.run_or_resume`.  An empty journal
+    file (killed before the header landed) counts as "no journal": a
+    fresh create accepts it and starts over."""
+    if not directory:
+        return False
+    path = Path(directory) / _JOURNAL_FILE
+    return path.exists() and path.stat().st_size > 0
 
 
 def space_fingerprint(space) -> dict:
@@ -286,15 +299,15 @@ class CampaignJournal:
                     f"campaign journal already exists at {self.path}; "
                     f"resume it (resume_from=... / --resume) or point "
                     f"--journal-dir at a fresh directory")
-            self._fh = self.path.open("a")
+            self._writer = JsonlAppender(self.path, kind="journal")
             crash_point("journal.header")
             self._append(header)
         else:
             # A predecessor killed mid-append leaves a torn final line;
             # seal it so our appends (resume marker first) cannot glue
             # onto the tear and vanish with it at the next load.
-            seal_torn_tail(self.path)
-            self._fh = self.path.open("a")
+            self._writer = JsonlAppender(self.path, kind="journal",
+                                         seal=True)
 
     @classmethod
     def create(cls, directory: str | Path, header: dict) -> "CampaignJournal":
@@ -312,8 +325,7 @@ class CampaignJournal:
 
     def _append(self, entry: dict) -> None:
         try:
-            append_line(self._fh, json.dumps(entry, sort_keys=True),
-                        kind="journal")
+            self._writer.append(entry)
         except OSError as exc:
             # Unlike cache/trace/metrics, the journal may not degrade:
             # its durability IS the resume contract.  Fail the campaign
@@ -403,6 +415,4 @@ class CampaignJournal:
         self._snapshots_written += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._writer.close()

@@ -123,3 +123,37 @@ class JournalError(CampaignError):
     such a journal would silently corrupt the search trajectory, so the
     resume is refused instead.
     """
+
+
+class ConfigSchemaError(CampaignError):
+    """A serialized :class:`~repro.core.campaign.CampaignConfig` payload
+    violates the wire schema.
+
+    Raised on unknown keys (a silently ignored knob is how override
+    bugs hide), runtime-only fields (``chaos``/``subscribers`` never
+    travel over the wire), values of the wrong type, and payloads
+    written by a *newer* schema version than this build understands.
+    Older versions load fine: absent fields take their pinned defaults,
+    which is what lets old job files replay after upgrades.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Campaign-service errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """The campaign service (``repro.service``) misbehaved or was
+    misused: a malformed submission, an unreachable server, a corrupt
+    service journal."""
+
+
+class SpecError(ServiceError):
+    """A job submission (:class:`~repro.service.schema.JobSpec`) is
+    invalid: unknown keys, a model name the server does not know, an
+    unsupported algorithm, or a bad embedded campaign config."""
+
+
+class JobNotFound(ServiceError):
+    """The requested job id is not in the service's registry."""

@@ -24,9 +24,11 @@ from .collectors import MetricsCollector
 from .console import ConsoleRenderer
 from .events import (BackendSelected, BatchCompleted, BatchStarted,
                      CacheWarnings, CampaignFinished, CampaignStarted,
-                     CircuitBreakerOpen, FaultInjected, PreprocessingDone,
-                     ProfileComputed, VariantEvaluated, VariantQuarantined,
-                     WorkerBackoff, WorkerFailure, WorkerRetry)
+                     CircuitBreakerOpen, FaultInjected, JobFailed,
+                     JobFinished, JobStarted, JobSubmitted,
+                     PreprocessingDone, ProfileComputed, VariantEvaluated,
+                     VariantQuarantined, WorkerBackoff, WorkerFailure,
+                     WorkerRetry)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       render_prometheus)
 from .summary import StageTotals, TraceSummary, summarize_trace
@@ -40,6 +42,7 @@ __all__ = [
     "ProfileComputed",
     "VariantEvaluated", "WorkerBackoff", "WorkerFailure", "WorkerRetry",
     "FaultInjected", "VariantQuarantined", "CircuitBreakerOpen",
+    "JobSubmitted", "JobStarted", "JobFinished", "JobFailed",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_prometheus",
     "StageTotals", "TraceSummary", "summarize_trace",
     "TRACE_FILE", "Span", "Tracer", "load_trace",

@@ -28,6 +28,7 @@ from __future__ import annotations
 from .bus import EventBus
 from .events import (BackendSelected, BatchCompleted, CacheWarnings,
                      CampaignFinished, CircuitBreakerOpen, FaultInjected,
+                     JobFailed, JobFinished, JobStarted, JobSubmitted,
                      PreprocessingDone, ProfileComputed, VariantEvaluated,
                      VariantQuarantined, WorkerBackoff, WorkerFailure,
                      WorkerRetry)
@@ -48,7 +49,8 @@ class MetricsCollector:
                              ProfileComputed, CacheWarnings, WorkerRetry,
                              WorkerBackoff, WorkerFailure, FaultInjected,
                              VariantQuarantined, CircuitBreakerOpen,
-                             CampaignFinished))
+                             CampaignFinished, JobSubmitted, JobStarted,
+                             JobFinished, JobFailed))
 
     # ------------------------------------------------------------------
 
@@ -134,3 +136,28 @@ class MetricsCollector:
             reg.gauge("repro_campaign_interrupted",
                       "1 when the campaign stopped on SIGINT/SIGTERM"
                       ).set(1.0 if event.interrupted else 0.0)
+        elif isinstance(event, JobSubmitted):
+            reg.counter("repro_service_jobs_submitted_total",
+                        "job specs accepted by the campaign service",
+                        tenant=event.tenant).inc()
+            if event.deduplicated:
+                reg.counter("repro_service_jobs_deduplicated_total",
+                            "submissions attached to an existing job by "
+                            "content digest", tenant=event.tenant).inc()
+        elif isinstance(event, JobStarted):
+            reg.counter("repro_service_jobs_started_total",
+                        "jobs dispatched to a worker slot",
+                        tenant=event.tenant).inc()
+            if event.resumed:
+                reg.counter("repro_service_jobs_resumed_total",
+                            "jobs resumed from a surviving campaign "
+                            "journal after a server restart",
+                            tenant=event.tenant).inc()
+        elif isinstance(event, JobFinished):
+            reg.counter("repro_service_jobs_finished_total",
+                        "jobs whose result.json was published",
+                        tenant=event.tenant).inc()
+        elif isinstance(event, JobFailed):
+            reg.counter("repro_service_jobs_failed_total",
+                        "jobs whose campaign raised",
+                        tenant=event.tenant).inc()

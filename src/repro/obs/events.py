@@ -26,7 +26,8 @@ __all__ = [
     "ProfileComputed", "CacheWarnings", "BatchStarted", "BatchCompleted",
     "VariantEvaluated", "WorkerRetry", "WorkerBackoff", "WorkerFailure",
     "FaultInjected", "VariantQuarantined", "CircuitBreakerOpen",
-    "CampaignFinished",
+    "CampaignFinished", "JobSubmitted", "JobStarted", "JobFinished",
+    "JobFailed",
 ]
 
 
@@ -231,3 +232,66 @@ class CampaignFinished:
     evaluations: int
     batches: int
     sim_seconds: float
+
+
+# -- campaign service (repro.service) job lifecycle --------------------
+#
+# Emitted by the job-queue server on its own bus (one per service, not
+# per campaign).  Each carries the content-addressed ``job_id`` so a
+# client watching a job's SSE stream can correlate service-level
+# transitions with the campaign events forwarded from the job's run.
+
+
+@dataclass(frozen=True)
+class JobSubmitted:
+    """A job spec was accepted and made durable in the service journal.
+
+    ``deduplicated`` is True when the spec's content digest matched an
+    existing pending/running/finished job from the same tenant — the
+    submission attached to that job instead of creating a duplicate.
+    """
+
+    job_id: str
+    tenant: str
+    model: str
+    priority: int
+    seq: int
+    deduplicated: bool = False
+
+
+@dataclass(frozen=True)
+class JobStarted:
+    """The scheduler dispatched the job to a worker slot.  ``resumed``
+    marks a job whose campaign journal survived a previous server
+    process — its completed work replays at ~0 cost."""
+
+    job_id: str
+    tenant: str
+    model: str
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class JobFinished:
+    """The job's campaign returned and ``result.json`` was atomically
+    published.  ``result_digest`` is the sha256 of the exact result
+    bytes — the value the byte-identity gates compare."""
+
+    job_id: str
+    tenant: str
+    model: str
+    finished: bool
+    evaluations: int
+    result_digest: str
+
+
+@dataclass(frozen=True)
+class JobFailed:
+    """The job's campaign raised.  The job is terminal-failed (a fresh
+    submission of the same spec re-queues it); the error text is
+    journaled for ``repro jobs`` / ``repro doctor``."""
+
+    job_id: str
+    tenant: str
+    model: str
+    error: str

@@ -1,0 +1,44 @@
+"""repro.service: the asynchronous campaign job-queue service.
+
+ROADMAP item 2: run tuning campaigns as *jobs* behind a long-lived
+server instead of foreground processes.  The package turns the
+crash-safe campaign engine (journaled resume, byte-identical replay —
+PRs 4 and 6) into a durable multi-tenant queue:
+
+* :mod:`~repro.service.schema` — :class:`JobSpec`, the versioned wire
+  format (model + algorithm + :class:`~repro.core.campaign
+  .CampaignConfig` + tenant/priority) and its content-addressed digest;
+* :mod:`~repro.service.scheduler` — deterministic fair-share +
+  priority ordering (per-tenant round-robin, submission-sequence
+  tie-break, never wall clock);
+* :mod:`~repro.service.journal` — the write-ahead service journal:
+  every job-state transition is fsynced before it takes effect, so a
+  SIGKILLed server restarts without losing an acked job;
+* :mod:`~repro.service.core` — :class:`CampaignService`, the
+  transport-agnostic queue/dispatch/execute engine;
+* :mod:`~repro.service.server` — the stdlib-asyncio HTTP front-end
+  with SSE live event streaming per job;
+* :mod:`~repro.service.client` — the blocking :mod:`http.client`
+  wrapper the CLI (``repro submit`` / ``jobs`` / ``watch``) uses;
+* :mod:`~repro.service.doctor` (imported lazily by ``repro doctor``) —
+  offline triage of a service state directory.
+
+The contract inherited from the engine holds end-to-end: a job
+submitted over HTTP produces ``result.json`` bytes identical to the
+same campaign run directly via :func:`~repro.core.campaign
+.run_campaign`, across worker counts, server restarts, and every
+``service.*`` crash point in the chaos matrix.
+"""
+
+from .client import ServiceClient
+from .core import CampaignService
+from .journal import JobRecord, ServiceJournal, load_service_state
+from .scheduler import FairShareScheduler
+from .schema import JobSpec
+from .server import ServiceServer
+
+__all__ = [
+    "CampaignService", "FairShareScheduler", "JobRecord", "JobSpec",
+    "ServiceClient", "ServiceJournal", "ServiceServer",
+    "load_service_state",
+]

@@ -1,0 +1,134 @@
+"""Blocking stdlib client for the campaign service.
+
+``repro submit`` / ``repro jobs`` / ``repro watch`` (and the CI smoke
+job) talk to the server through this thin :mod:`http.client` wrapper —
+no third-party HTTP stack, symmetric with the server being plain
+asyncio.  Every method raises :class:`~repro.errors.ServiceError` with
+the server's own error text on non-2xx responses, so CLI error
+messages are the server's, not a transport guess.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Optional
+
+from ..errors import JobNotFound, ServiceError, SpecError
+from .schema import JobSpec
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One service endpoint (``host:port``); connections per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, *,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[str] = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            text = resp.read().decode("utf-8")
+            if resp.status >= 400:
+                try:
+                    error = json.loads(text).get("error", text)
+                except json.JSONDecodeError:
+                    error = text
+                if resp.status == 404:
+                    raise JobNotFound(error)
+                if resp.status == 400:
+                    raise SpecError(error)
+                raise ServiceError(error)
+            return json.loads(text)
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"campaign service at {self.host}:{self.port} "
+                f"unreachable: {exc}") from exc
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Submit a spec; returns ``{"job_id", "seq", "deduplicated"}``."""
+        return self._request("POST", "/jobs", body=spec.to_json())
+
+    def jobs(self, tenant: Optional[str] = None) -> list[dict]:
+        path = f"/jobs?tenant={tenant}" if tenant else "/jobs"
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result_text(self, job_id: str) -> str:
+        """The job's exact ``result.json`` bytes (as text)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/result")
+            resp = conn.getresponse()
+            text = resp.read().decode("utf-8")
+            if resp.status == 404:
+                raise JobNotFound(text)
+            if resp.status >= 400:
+                try:
+                    raise ServiceError(json.loads(text).get("error", text))
+                except json.JSONDecodeError:
+                    raise ServiceError(text) from None
+            return text
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"campaign service at {self.host}:{self.port} "
+                f"unreachable: {exc}") from exc
+        finally:
+            conn.close()
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    def watch(self, job_id: str, *,
+              timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield ``{"event", "data"}`` payloads from the job's SSE
+        stream (history first, then live) until the terminal frame."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status == 404:
+                raise JobNotFound(resp.read().decode("utf-8"))
+            if resp.status >= 400:
+                raise ServiceError(resp.read().decode("utf-8"))
+            event_name, data_lines = None, []
+            for raw in resp:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif line == "" and event_name is not None:
+                    if event_name == "done":
+                        return
+                    data = json.loads("\n".join(data_lines) or "{}")
+                    yield {"event": event_name, "data": data}
+                    event_name, data_lines = None, []
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceError(
+                f"event stream for job {job_id} broke: {exc}") from exc
+        finally:
+            conn.close()

@@ -1,0 +1,143 @@
+"""The service wire schema: job specs and their content addresses.
+
+A :class:`JobSpec` is everything a client sends to create a job: which
+model to tune, which search algorithm, the full
+:class:`~repro.core.campaign.CampaignConfig` (riding the versioned wire
+format from ``core.campaign``), plus the scheduling envelope (tenant,
+priority).  Specs are *values*: normalizing one strips the fields the
+server owns (journal/trace placement, resume flags) and the sha256 of
+the normalized JSON is the job's identity.  Two submissions of the
+same work from the same tenant therefore hash to the same ``job_id``
+and attach to one job instead of running the campaign twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..core.algorithms import ALGORITHMS
+from ..core.campaign import CampaignConfig
+from ..errors import ConfigSchemaError, SpecError
+
+__all__ = ["JobSpec", "SPEC_SCHEMA_VERSION"]
+
+#: Version stamp of the JobSpec envelope itself.  The embedded config
+#: carries its own ``schema_version``; this one covers the envelope
+#: fields (model/tenant/priority/algorithm).
+SPEC_SCHEMA_VERSION = 1
+
+_DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of submittable work: a campaign over one model."""
+
+    model: str
+    tenant: str = _DEFAULT_TENANT
+    priority: int = 0
+    algorithm: str = "dd"
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+
+    def __post_init__(self):
+        if not self.model or not isinstance(self.model, str):
+            raise SpecError("spec.model must be a non-empty string")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise SpecError("spec.tenant must be a non-empty string")
+        if not isinstance(self.priority, int) or isinstance(self.priority,
+                                                            bool):
+            raise SpecError(f"spec.priority must be an integer, "
+                            f"got {self.priority!r}")
+        if self.algorithm not in ALGORITHMS:
+            raise SpecError(
+                f"unknown algorithm {self.algorithm!r} "
+                f"(known: {', '.join(ALGORITHMS)})")
+        if not isinstance(self.config, CampaignConfig):
+            raise SpecError("spec.config must be a CampaignConfig")
+
+    # -- identity ------------------------------------------------------
+
+    def normalized(self) -> "JobSpec":
+        """The canonical form content-addressing hashes.
+
+        Journal/trace placement and the resume flag belong to the
+        *server* (it assigns each job a state subdirectory), so two
+        specs differing only in those fields are the same work.
+        """
+        config = self.config.overriding(journal_dir=None, trace_dir=None,
+                                        resume=False)
+        return JobSpec(model=self.model, tenant=self.tenant,
+                       priority=self.priority, algorithm=self.algorithm,
+                       config=config)
+
+    def digest(self) -> str:
+        """sha256 of the normalized spec — the content-addressed job id.
+
+        The tenant is part of the address on purpose: identical work
+        from two tenants must stay two jobs (isolation beats dedup).
+        Priority is *not* — resubmitting at a higher priority should
+        find the existing job, not fork it.
+        """
+        norm = self.normalized()
+        blob = json.dumps(
+            {"model": norm.model, "tenant": norm.tenant,
+             "algorithm": norm.algorithm,
+             "config": norm.config.to_payload()},
+            sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- wire format ---------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "spec_version": SPEC_SCHEMA_VERSION,
+            "model": self.model,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "algorithm": self.algorithm,
+            "config": self.config.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise SpecError(f"job spec must be a JSON object, "
+                            f"got {type(payload).__name__}")
+        version = payload.get("spec_version", SPEC_SCHEMA_VERSION)
+        if not isinstance(version, int) or version < 1:
+            raise SpecError(f"bad spec_version {version!r}")
+        if version > SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"job spec uses spec_version {version}; this build reads "
+                f"versions <= {SPEC_SCHEMA_VERSION}")
+        known = {"spec_version", "model", "tenant", "priority",
+                 "algorithm", "config"}
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"unknown job spec field(s): "
+                            f"{sorted(unknown)}")
+        if "model" not in payload:
+            raise SpecError("job spec has no model field")
+        try:
+            config = CampaignConfig.from_payload(
+                payload.get("config", CampaignConfig().to_payload()))
+        except ConfigSchemaError as exc:
+            raise SpecError(f"bad campaign config: {exc}") from exc
+        return cls(model=payload["model"],
+                   tenant=payload.get("tenant", _DEFAULT_TENANT),
+                   priority=payload.get("priority", 0),
+                   algorithm=payload.get("algorithm", "dd"),
+                   config=config)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"job spec is not valid JSON: {exc}") from exc
+        return cls.from_payload(payload)

@@ -29,8 +29,9 @@ import signal
 
 import pytest
 
-from repro.chaos import (FaultPlan, KillAt, WorkerFault,
-                         registered_crash_points)
+from repro.chaos import (ChaosEngine, FaultPlan, KillAt, WorkerFault,
+                         campaign_crash_points, registered_crash_points)
+from repro.chaos import hooks as chaos_hooks
 from repro.core import CampaignConfig, Outcome, run_campaign
 from repro.core.journal import JournalState
 from repro.models import FunarcCase
@@ -90,8 +91,11 @@ def clean_baseline():
 class TestCrashPointMatrix:
     """SIGKILL at every registered point; resume must be byte-identical."""
 
+    # Only the points reachable inside one campaign: the ``service.*``
+    # partition needs a whole job-queue server around the campaign and
+    # is exercised by TestServiceCrashMatrix below.
     @pytest.mark.parametrize("workers", [1, 2], ids=["serial", "workers2"])
-    @pytest.mark.parametrize("point", registered_crash_points())
+    @pytest.mark.parametrize("point", campaign_crash_points())
     def test_kill_and_resume(self, clean_baseline, tmp_path, point, workers):
         journal_dir = tmp_path / "journal"
         cache_dir = str(tmp_path / "cache")   # so cache.put fires
@@ -222,3 +226,106 @@ class TestSeededChaosFuzz:
         a, b = FaultPlan.random(99), FaultPlan.random(99)
         assert a.to_json() == b.to_json()
         assert json.loads(a.to_json()) == a.to_payload()
+
+
+# -- the service partition ---------------------------------------------
+
+def _service_victim(state_dir, point):  # pragma: no cover - forked
+    """Child body: run a whole job-queue service under a kill plan.
+
+    The engine is installed process-wide *before* the service exists,
+    so even construction-time points (``service.journal_header``) are
+    killable.  The campaign itself runs chaos-free in the sense that
+    the plan schedules no campaign-point kills — only the service
+    write path is sabotaged.
+    """
+    from repro.service import CampaignService, JobSpec
+
+    chaos_hooks.install(
+        ChaosEngine(FaultPlan(kills=(KillAt(point, hit=1),))))
+    try:
+        service = CampaignService(state_dir,
+                                  model_factory=lambda name: _funarc())
+        service.submit(JobSpec(model="funarc", config=_config()))
+        service.run_pending()
+        service.close()
+    except BaseException:
+        os._exit(7)
+    os._exit(0)
+
+
+def _run_service_child(state_dir, point, timeout: float = 120.0) -> int:
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_service_victim, args=(state_dir, point))
+    proc.start()
+    proc.join(timeout)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+        pytest.fail("service chaos child wedged (watchdog timeout)")
+    return proc.exitcode
+
+
+class TestServiceCrashMatrix:
+    """SIGKILL the whole job-queue server at every ``service.`` point.
+
+    Contract: a restarted server (plus an idempotent client
+    resubmission, covering the one window where the ack never went
+    out) loses no accepted job and publishes ``result.json`` bytes
+    identical to a direct, never-interrupted ``run_campaign``.
+    """
+
+    def test_partition_is_total(self):
+        service_points = registered_crash_points("service.")
+        assert set(service_points) | set(campaign_crash_points()) == \
+            set(registered_crash_points())
+        assert not set(service_points) & set(campaign_crash_points())
+        assert len(service_points) >= 5
+
+    @pytest.mark.parametrize("point", registered_crash_points("service."))
+    def test_server_kill_and_restart(self, clean_baseline, tmp_path, point):
+        from repro.service import CampaignService, JobSpec
+
+        state_dir = tmp_path / "service"
+        exitcode = _run_service_child(state_dir, point)
+        assert exitcode == -signal.SIGKILL, (
+            f"service crash point {point} did not fire "
+            f"(child exit {exitcode})")
+
+        # Restart chaos-free.  The client's resubmission is idempotent:
+        # either the job survived (dedup attaches) or the ack was never
+        # sent (a fresh durable job is created).
+        service = CampaignService(state_dir,
+                                  model_factory=lambda name: _funarc())
+        service.submit(JobSpec(model="funarc", config=_config()))
+        service.run_pending()
+        jobs = service.jobs()
+        assert len(jobs) == 1
+        assert jobs[0]["state"] == "done"
+        text = service.result_text(jobs[0]["job_id"])
+        assert text == clean_baseline.to_json(), (
+            f"restart after SIGKILL at {point} diverged from the "
+            f"uninterrupted run")
+        service.close()
+
+    def test_mid_campaign_kill_resumes_at_zero_cost(self, clean_baseline,
+                                                    tmp_path):
+        # Kill *inside* the job's campaign (a journal.variant hit), not
+        # at a service point: the orphaned job must resume from its
+        # campaign journal instead of re-evaluating from scratch.
+        from repro.service import CampaignService, JobSpec
+
+        state_dir = tmp_path / "service"
+        exitcode = _run_service_child(state_dir, "journal.variant")
+        assert exitcode == -signal.SIGKILL
+
+        service = CampaignService(state_dir,
+                                  model_factory=lambda name: _funarc())
+        assert any("requeued for resume" in w
+                   for w in service.load_warnings)
+        jobs = service.jobs()
+        assert jobs[0]["state"] == "queued" and jobs[0]["resumed"]
+        service.run_pending()
+        text = service.result_text(jobs[0]["job_id"])
+        assert text == clean_baseline.to_json()
+        service.close()

@@ -1,0 +1,124 @@
+"""Deterministic fair-share scheduling (the service's ordering gate).
+
+Acceptance criteria from the service PR: two tenants submitting N jobs
+each into one worker slot alternate deterministically; a higher
+priority dispatches earlier within its tenant without starving the
+other tenant; and the same submission sequence yields the same
+dispatch order on every run and at every worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import FairShareScheduler
+
+
+def drain(sched):
+    order = []
+    while True:
+        job = sched.pop()
+        if job is None:
+            return order
+        order.append(job)
+
+
+class TestFairShare:
+    def test_two_tenants_alternate(self):
+        sched = FairShareScheduler()
+        seq = 0
+        for i in range(3):
+            sched.push("alice", 0, seq, f"a{i}"); seq += 1
+            sched.push("bob", 0, seq, f"b{i}"); seq += 1
+        assert drain(sched) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_alternation_survives_lopsided_submission(self):
+        # alice floods first; bob's single job is not stuck behind her.
+        sched = FairShareScheduler()
+        for i in range(4):
+            sched.push("alice", 0, i, f"a{i}")
+        sched.push("bob", 0, 4, "b0")
+        assert drain(sched) == ["a0", "b0", "a1", "a2", "a3"]
+
+    def test_idle_tenant_keeps_ring_position(self):
+        sched = FairShareScheduler()
+        sched.push("alice", 0, 0, "a0")
+        sched.push("bob", 0, 1, "b0")
+        assert sched.pop() == "a0"
+        assert sched.pop() == "b0"
+        # alice went idle; on resubmission she resumes her old slot
+        # (ring order is by first submission, not re-submission).
+        sched.push("bob", 0, 2, "b1")
+        sched.push("alice", 0, 3, "a1")
+        assert drain(sched) == ["a1", "b1"]
+        assert sched.tenants == ("alice", "bob")
+
+    def test_priority_preempts_within_tenant(self):
+        sched = FairShareScheduler()
+        sched.push("alice", 0, 0, "low")
+        sched.push("alice", 5, 1, "high")
+        assert drain(sched) == ["high", "low"]
+
+    def test_priority_does_not_starve_other_tenant(self):
+        sched = FairShareScheduler()
+        for i in range(3):
+            sched.push("alice", 100, i, f"urgent{i}")
+        sched.push("bob", 0, 3, "patient")
+        order = drain(sched)
+        # bob's job rides the round-robin, urgent or not.
+        assert order.index("patient") == 1
+
+    def test_equal_priority_ties_break_by_seq_never_wall_clock(self):
+        sched = FairShareScheduler()
+        sched.push("t", 1, 10, "later")
+        sched.push("t", 1, 3, "earlier")
+        assert drain(sched) == ["earlier", "later"]
+
+    def test_remove(self):
+        sched = FairShareScheduler()
+        sched.push("t", 0, 0, "a")
+        sched.push("t", 0, 1, "b")
+        assert sched.remove("t", "a")
+        assert not sched.remove("t", "a")
+        assert not sched.remove("ghost", "a")
+        assert drain(sched) == ["b"]
+
+
+class TestDeterminism:
+    SUBMISSIONS = [
+        ("alice", 2, "a-hi"), ("bob", 0, "b-0"), ("alice", 0, "a-lo"),
+        ("carol", 1, "c-0"), ("bob", 9, "b-hi"), ("carol", 1, "c-1"),
+        ("alice", 2, "a-hi2"), ("bob", 0, "b-1"),
+    ]
+
+    def build(self):
+        sched = FairShareScheduler()
+        for seq, (tenant, priority, job) in enumerate(self.SUBMISSIONS):
+            sched.push(tenant, priority, seq, job)
+        return sched
+
+    def test_same_sequence_same_order(self):
+        assert drain(self.build()) == drain(self.build())
+
+    def test_order_is_the_documented_policy(self):
+        # Hand-derived from the policy; a change here is a behaviour
+        # change, not a refactor.
+        assert drain(self.build()) == [
+            "a-hi", "b-hi", "c-0", "a-hi2", "b-0", "c-1", "a-lo", "b-1"]
+
+    @pytest.mark.parametrize("claimed_per_round", [1, 2, 3])
+    def test_dispatch_order_is_worker_count_independent(
+            self, claimed_per_round):
+        # A wider worker fleet claims more jobs per scheduling round,
+        # but the *sequence* of claims is identical: the dispatch order
+        # is a property of the submissions, not of the fleet.
+        reference = drain(self.build())
+        sched = self.build()
+        claimed = []
+        while True:
+            batch = [sched.pop() for _ in range(claimed_per_round)]
+            batch = [j for j in batch if j is not None]
+            if not batch:
+                break
+            claimed.extend(batch)
+        assert claimed == reference
