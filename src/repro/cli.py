@@ -64,7 +64,7 @@ def _execution_parent() -> argparse.ArgumentParser:
                    help="directory for the persistent variant-result "
                         "cache (reruns skip already-evaluated variants)")
     g.add_argument("--backend", default="compiled",
-                   choices=["compiled", "tree"],
+                   choices=["compiled", "tree", "batched"],
                    help="Fortran execution backend (default: compiled — "
                         "closure-lowered procedures; tree is the "
                         "reference walker; results are bit-identical "
@@ -255,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-evals", type=int, default=600)
     p.add_argument("--budget-hours", type=float, default=12.0)
     p.add_argument("--backend", default="compiled",
-                   choices=["compiled", "tree"])
+                   choices=["compiled", "tree", "batched"])
     p.add_argument("--json", action="store_true",
                    help="emit the server's response JSON on stdout")
 

@@ -107,11 +107,13 @@ class CampaignConfig:
 
     # -- real execution (repro.core.parallel / repro.core.cache) ----------
     #: Fortran execution backend: ``"compiled"`` (closure-lowered, the
-    #: default) or ``"tree"`` (the reference walker).  Bit-identical by
+    #: default), ``"tree"`` (the reference walker), or ``"batched"``
+    #: (whole variant waves in one lockstep sweep with a leading lane
+    #: axis; see :mod:`repro.fortran.batch`).  Bit-identical by
     #: contract, so the backend appears in neither the evaluation
     #: context nor the journal trajectory fingerprint
     #: (``repro.core.journal._TRAJECTORY_CONFIG_FIELDS``) — artifacts
-    #: written under one backend are valid under the other.
+    #: written under one backend are valid under any other.
     backend: str = "compiled"
     workers: int = 1                        # >1 fans batches out to processes
     cache_dir: Optional[str] = None         # persistent result cache location
@@ -369,6 +371,8 @@ class BatchTelemetry:
     replayed: int = 0         # subset of cache_hits served from the journal
     backoff_seconds: float = 0.0   # real seconds slept between worker retries
     quarantined: int = 0      # subset of failures recorded as permanent
+    vector_lanes: int = 0     # lanes the batched backend kept vectorized
+    fallback_lanes: int = 0   # lanes re-run on the compiled scalar path
     #: Simulated charge decomposed over pipeline stages (the slowest
     #: member of each node-pool wave sets the wave's charge, so its
     #: stage split is the wave's stage split); values sum to
@@ -386,6 +390,8 @@ class BatchTelemetry:
             "replayed": self.replayed,
             "backoff_seconds": self.backoff_seconds,
             "quarantined": self.quarantined,
+            "vector_lanes": self.vector_lanes,
+            "fallback_lanes": self.fallback_lanes,
             "stage_sim": dict(self.stage_sim),
         }
 
@@ -403,6 +409,8 @@ class _BatchStats:
     replayed: int = 0
     backoff_seconds: float = 0.0
     quarantined: int = 0
+    vector_lanes: int = 0
+    fallback_lanes: int = 0
 
 
 @dataclass
@@ -559,6 +567,8 @@ class BudgetedOracle:
             replayed=stats.replayed,
             backoff_seconds=stats.backoff_seconds,
             quarantined=stats.quarantined,
+            vector_lanes=stats.vector_lanes,
+            fallback_lanes=stats.fallback_lanes,
             stage_sim=stage_sim,
         )
         self.telemetry.append(telemetry)
@@ -635,6 +645,8 @@ class BudgetedOracle:
         invariant every execution backend must preserve, because ids key
         the Eq.-1 noise sampling.
         """
+        if self.evaluator.backend == "batched":
+            return self._evaluate_batched(assignments)
         stats = _BatchStats()
         batch_index = len(self.telemetry)
         records: list[VariantRecord] = []
@@ -679,6 +691,115 @@ class BudgetedOracle:
             self._emit_variant(batch_index, record, source)
             records.append(record)
             hit_flags.append(hit)
+        return records, hit_flags, stats
+
+    def _evaluate_batched(
+        self, assignments: list[PrecisionAssignment]
+    ) -> tuple[list[VariantRecord], list[bool], _BatchStats]:
+        """Serial batched sweep: resolve hits up front, then evaluate
+        every remaining variant in one vectorized wave.
+
+        The plan phase mirrors :class:`ParallelOracle` exactly — ids are
+        reserved in batch order for first-occurrence misses, in-batch
+        duplicates are folded onto one evaluation and re-emitted as
+        memory hits — so records, events, and journal rows are
+        bit-identical to the scalar serial path (the three-way
+        differential fuzzer and the golden digests gate this).
+        """
+        stats = _BatchStats()
+        batch_index = len(self.telemetry)
+        # ("rec", record, source) | ("task", i, None)
+        plan: list[tuple[str, object, Optional[str]]] = []
+        tasks: list[tuple[PrecisionAssignment, int]] = []
+        task_by_key: dict[tuple[int, ...], int] = {}
+        for assignment in assignments:
+            self._check_interrupt()
+            record = self.evaluator.lookup(assignment)
+            if record is not None:
+                stats.cache_hits += 1
+                plan.append(("rec", record, "memory"))
+                continue
+            key = assignment.key()
+            if key in task_by_key:
+                # Duplicate within the wave: one lane, both rows —
+                # serial scalar execution would serve the repeat from
+                # the in-memory cache after the first evaluation.
+                stats.cache_hits += 1
+                plan.append(("task", task_by_key[key], None))
+                continue
+            vid = self.evaluator.reserve_id()
+            record, source = self._external_record(key, vid)
+            if record is not None:
+                stats.cache_hits += 1
+                if source == "replay":
+                    stats.replayed += 1
+                else:
+                    stats.disk_hits += 1
+                self.evaluator.admit(record)
+                plan.append(("rec", record, source))
+                continue
+            task_by_key[key] = len(tasks)
+            tasks.append((assignment, vid))
+            plan.append(("task", len(tasks) - 1, None))
+        stats.dispatched = len(tasks)
+
+        results: dict[int, VariantRecord] = {}
+        if tasks:
+            # One lockstep sweep for the whole wave.  The lowering span
+            # records the wave's width and how many lanes stayed on the
+            # vector path; per-variant wall time is not observable when
+            # lanes interleave, so variant spans trace with unknown
+            # wall (exactly like worker-evaluated variants).
+            sweep_started = time.perf_counter()
+            fresh = self.evaluator.evaluate_assigned_batch(tasks)
+            bstats = self.evaluator.last_batch_stats
+            if bstats is not None:
+                stats.vector_lanes += bstats.vector_lanes
+                stats.fallback_lanes += bstats.fallback_lanes
+            self.tracer.emit_span(
+                "lowering",
+                wall_seconds=time.perf_counter() - sweep_started,
+                sim_seconds=0.0,
+                attrs={"batch": batch_index, "width": len(tasks),
+                       "vector_lanes":
+                           bstats.vector_lanes if bstats else len(tasks),
+                       "fallback_lanes":
+                           bstats.fallback_lanes if bstats else 0})
+            for (assignment, vid), record in zip(tasks, fresh):
+                results[vid] = record
+                self.evaluator.admit(record)
+                if self.cache is not None:
+                    self.cache.put(record)
+                if self.journal is not None:
+                    self.journal.variant(batch_index, record)
+                stats.completed += 1
+
+        # Resolve the plan in batch order, emitting each record exactly
+        # as the scalar serial oracle would.
+        records: list[VariantRecord] = []
+        hit_flags: list[bool] = []
+        emitted: set[int] = set()
+        for kind, payload, source in plan:
+            if kind == "rec":
+                records.append(payload)
+                hit_flags.append(True)
+                self._emit_variant(batch_index, payload, source)
+                continue
+            _, vid = tasks[payload]
+            record = results[vid]
+            records.append(record)
+            if payload in emitted:
+                hit_flags.append(True)
+                self._emit_variant(batch_index, record, "memory")
+            else:
+                hit_flags.append(False)
+                emitted.add(payload)
+                self.tracer.emit_span(
+                    "variant", wall_seconds=None,
+                    sim_seconds=record.eval_wall_seconds,
+                    attrs={"id": record.variant_id,
+                           "outcome": record.outcome.name})
+                self._emit_variant(batch_index, record, "fresh")
         return records, hit_flags, stats
 
     def close(self) -> None:

@@ -39,12 +39,15 @@ __all__ = ["BACKENDS", "STAGES", "ProcPerf", "VariantRecord", "Evaluator",
 
 #: Execution backends for the Fortran interpreter.  ``compiled`` lowers
 #: each procedure once into Python closures (see
-#: :mod:`repro.fortran.compile`); ``tree`` is the reference tree walker.
-#: Both are bit-identical in observables and ledger charges — the
-#: differential fuzz suite and the golden-digest tests pin this — so the
-#: backend deliberately does NOT appear in :func:`evaluation_context`:
-#: caches and journals written under one backend replay under the other.
-BACKENDS = ("compiled", "tree")
+#: :mod:`repro.fortran.compile`); ``tree`` is the reference tree walker;
+#: ``batched`` evaluates whole variant waves in one lockstep sweep with
+#: a leading lane axis (see :mod:`repro.fortran.batch`), falling back
+#: per-lane to the compiled scalar path on divergence.  All three are
+#: bit-identical in observables and ledger charges — the differential
+#: fuzz suite and the golden-digest tests pin this — so the backend
+#: deliberately does NOT appear in :func:`evaluation_context`: caches
+#: and journals written under one backend replay under any other.
+BACKENDS = ("compiled", "tree", "batched")
 
 #: The per-variant pipeline stages charged against the simulated
 #: budget, in the paper's T1→T3 order.  ``Evaluator.stage_timings``
@@ -150,9 +153,15 @@ class Evaluator:
             rsd=model.noise_rsd, base_seed=seed)
         self.n_runs = model.n_runs
         self.backend = backend
-        if backend == "compiled":
+        #: Statistics of the most recent vectorized wave (``batched``
+        #: backend only) — consumed by the oracle for telemetry.
+        self.last_batch_stats = None
+        if backend in ("compiled", "batched"):
             # Imported here: repro.fortran is a sibling package whose
             # import is deferred until an evaluator actually needs it.
+            # The batched backend uses the compiled scalar path for the
+            # baseline and for width-1 evaluations (bit-identical by
+            # the differential-fuzz contract).
             from ..fortran.compile import CompiledInterpreter
             self._interpreter_factory = CompiledInterpreter
         else:
@@ -288,11 +297,48 @@ class Evaluator:
         """Evaluate under a pre-reserved variant id, bypassing caches.
         Deterministic given (assignment, vid) and the construction
         parameters (model spec, machine, noise, timeout factor)."""
+        return self._evaluate_with(assignment, vid,
+                                   self._interpreter_factory)
+
+    def evaluate_assigned_batch(
+        self, tasks: list[tuple[PrecisionAssignment, int]]
+    ) -> list[VariantRecord]:
+        """Evaluate a wave of (assignment, vid) pairs in one sweep.
+
+        Under the ``batched`` backend the whole wave executes in a
+        single :class:`~repro.fortran.batch.VariantBatch` — per-variant
+        kind overlays become per-lane dtype masks, and lanes whose
+        control flow the lockstep engine cannot keep converged fall
+        back individually to the compiled scalar path.  Every record is
+        bit-identical to what :meth:`evaluate_assigned` produces for
+        the same pair (the three-way differential fuzzer and the golden
+        digests gate this).  Other backends, and width-1 waves, simply
+        loop over :meth:`evaluate_assigned`.
+        """
+        if self.backend != "batched" or len(tasks) <= 1:
+            return [self.evaluate_assigned(a, vid) for a, vid in tasks]
+        from ..fortran.batch import VariantBatch
+        overlays = [a.overlay() for a, _ in tasks]
+        batch = VariantBatch(self.model.index, overlays,
+                             vec_info=self.model.vec_info,
+                             max_ops=self.op_cap)
+        records = []
+        for lane, (assignment, vid) in enumerate(tasks):
+            view = batch.lane(lane)
+            records.append(self._evaluate_with(
+                assignment, vid,
+                lambda index, overlay=None, vec_info=None, max_ops=None,
+                view=view: view))
+        self.last_batch_stats = batch.stats()
+        return records
+
+    def _evaluate_with(self, assignment: PrecisionAssignment, vid: int,
+                       factory) -> VariantRecord:
         frac = assignment.fraction_lowered
         try:
             run = self.model.run(
                 assignment, max_ops=self.op_cap,
-                interpreter_factory=self._interpreter_factory)
+                interpreter_factory=factory)
         except InterpreterLimitError as exc:
             return VariantRecord(
                 variant_id=vid, kinds=assignment.key(),
@@ -308,7 +354,11 @@ class Evaluator:
                 eval_wall_seconds=self._eval_wall_seconds(1.0),
                 note=str(exc),
             )
+        return self._record_from_artifacts(assignment, vid, run)
 
+    def _record_from_artifacts(self, assignment: PrecisionAssignment,
+                               vid: int, run) -> VariantRecord:
+        frac = assignment.fraction_lowered
         cost = self._price(run.ledger)
         total = cost.total_seconds
         relative = total / self.baseline_total

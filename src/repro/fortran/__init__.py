@@ -9,10 +9,14 @@ compilation:
   (retyping + Figure-4 wrapper generation), :func:`reduce_program` /
   :func:`reinsert` (taint-based program reduction)
 * execution: :class:`Interpreter` with a precision ``overlay`` and an
-  operation :class:`Ledger` consumed by :mod:`repro.perf`
+  operation :class:`Ledger` consumed by :mod:`repro.perf`;
+  :class:`CompiledInterpreter` (closure-lowered) and
+  :class:`VariantBatch` (lockstep variant waves, one lane per precision
+  overlay) are drop-in bit-identical execution backends
 """
 
 from .ast_nodes import SourceFile
+from .batch import BatchLane, BatchStats, VariantBatch
 from .compile import CODE_CACHE, CodeCache, CompiledInterpreter, source_digest
 from .instrumentation import Ledger, OpKey
 from .interpreter import Interpreter, OutBox, make_array
@@ -26,7 +30,7 @@ from .vectorize import ProgramVecInfo, analyze_program
 from .wrappers import generate_wrappers
 
 __all__ = [
-    "SourceFile", "CODE_CACHE", "CodeCache", "CompiledInterpreter",
+    "SourceFile", "BatchLane", "BatchStats", "VariantBatch", "CODE_CACHE", "CodeCache", "CompiledInterpreter",
     "source_digest", "Ledger", "OpKey", "Interpreter", "OutBox", "make_array",
     "parse_source", "KIND_DOUBLE", "KIND_SINGLE", "ProgramIndex", "Symbol",
     "analyze", "ReducedProgram", "reduce_program", "reinsert",

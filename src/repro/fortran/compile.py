@@ -24,12 +24,14 @@ Call binding, write-back, and local elaboration reuse the inherited
 tree-interpreter ``_invoke`` verbatim, so boundary-cast charges and
 wrapper semantics cannot drift by construction.
 
-Compiled bodies are cached in :data:`CODE_CACHE`, keyed by ``(source
-digest, procedure, restricted precision assignment)`` — the restriction
-keeps only overlay entries the procedure body can observe (its own
-scope, ancestor scopes, and module symbols), so delta-debug neighbors
-that differ only in *other* procedures' precisions share compiled code
-and skip re-lowering.
+Compiled bodies are cached in :data:`CODE_CACHE`, keyed by
+:func:`cache_key` — the canonical four-part tuple ``(source digest,
+procedure, vectorization flag, sorted restricted overlay)``.  The
+restriction keeps only overlay entries the procedure body can observe
+(its own scope, ancestor scopes, and module symbols), so delta-debug
+neighbors that differ only in *other* procedures' precisions share
+compiled code and skip re-lowering; the sorted ordering makes the key
+independent of overlay dict insertion order.
 
 The contract (pinned by ``tests/test_fuzz_differential.py``,
 ``tests/test_backend_golden.py`` and the equivalence suite):
@@ -59,7 +61,7 @@ from .values import (FArray, cast_real, dtype_for_kind, element_count,
                      kind_of, promote_kinds)
 
 __all__ = ["CompiledInterpreter", "CodeCache", "CODE_CACHE",
-           "source_digest", "relevant_overlay"]
+           "cache_key", "source_digest", "relevant_overlay"]
 
 #: Subroutine names the interpreter implements natively (mirrors
 #: ``Interpreter._builtin_subs``; all of them charge an allreduce).
@@ -141,14 +143,43 @@ def relevant_overlay(index: ProgramIndex, qual: str,
     return tuple(items)
 
 
+def cache_key(index: ProgramIndex, qual: str, vec_info,
+              overlay: dict[str, int]) -> tuple:
+    """Canonical :data:`CODE_CACHE` key for one lowered procedure body.
+
+    Exactly four parts, in order:
+
+    1. **source digest** — sha256 of the unparsed program, so the cache
+       never serves code across edited sources;
+    2. **procedure** — the qualified name being lowered;
+    3. **vectorization flag** — whether vector analysis was supplied
+       (``vec_info is not None``): vectorized and devectorized
+       lowerings of the same body differ, so they must not share an
+       entry;
+    4. **restricted overlay** — :func:`relevant_overlay`'s **sorted**
+       tuple of the overlay entries the body can observe.  Sorting
+       makes the key independent of overlay dict insertion order:
+       delta-debug neighbors built in different orders, workers
+       rebuilding assignments from wire kinds, and batched-backend
+       lane overlays all hit the same entry.
+
+    Every cache consumer must build keys through this function —
+    hand-rolled tuples are how the docs and the implementation drift
+    apart (``tests/test_perf.py`` pins the shape and the ordering
+    invariance).
+    """
+    return (source_digest(index), qual, vec_info is not None,
+            relevant_overlay(index, qual, overlay))
+
+
 class CodeCache:
     """Process-wide cache of lowered procedure bodies.
 
     A bounded FIFO (so long campaigns cannot grow it without limit)
-    mapping ``(source digest, procedure, vec-analysis?, restricted
-    overlay)`` to the compiled body closure.  Counters feed the
-    observability layer; they never enter deterministic campaign
-    output.
+    mapping :func:`cache_key`'s ``(source digest, procedure,
+    vectorization flag, sorted restricted overlay)`` to the compiled
+    body closure.  Counters feed the observability layer; they never
+    enter deterministic campaign output.
     """
 
     def __init__(self, maxsize: int = 4096):
@@ -160,8 +191,7 @@ class CodeCache:
     def code_for(self, index: ProgramIndex, vec_info,
                  overlay: dict[str, int],
                  qual: str) -> Callable[[Any, Frame], None]:
-        key = (source_digest(index), qual, vec_info is not None,
-               relevant_overlay(index, qual, overlay))
+        key = cache_key(index, qual, vec_info, overlay)
         body = self._entries.get(key)
         if body is not None:
             self.hits += 1

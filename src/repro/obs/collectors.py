@@ -19,7 +19,10 @@ trace directory, ``CampaignResult.metrics``):
   ``repro_queue_depth`` (dispatched in the latest batch),
   ``repro_wall_seconds_total`` — batch pipeline shape;
 * ``repro_backend_campaigns_total{backend=...}`` — which Fortran
-  execution backend (compiled / tree) served the campaign;
+  execution backend (compiled / tree / batched) served the campaign;
+* ``repro_batched_lanes_total`` / ``repro_batched_fallback_lanes_total``
+  / ``repro_batch_width`` (histogram) — batched-backend wave shape:
+  vectorized vs scalar-fallback lanes (absent unless batched ran);
 * ``repro_campaign_finished`` / ``repro_campaign_interrupted`` gauges.
 """
 
@@ -92,6 +95,20 @@ class MetricsCollector:
             reg.histogram("repro_batch_sim_seconds",
                           "simulated node-seconds charged per batch"
                           ).observe(bt.sim_seconds)
+            if bt.vector_lanes or bt.fallback_lanes:
+                # Batched-backend wave shape: how wide the lockstep
+                # sweeps ran and how many lanes diverged to the scalar
+                # fallback.  Counters exist only when the batched
+                # backend ran, so other campaigns export unchanged.
+                reg.counter("repro_batched_lanes_total",
+                            "lanes evaluated on the vectorized path"
+                            ).inc(bt.vector_lanes)
+                reg.counter("repro_batched_fallback_lanes_total",
+                            "lanes re-run on the compiled scalar path"
+                            ).inc(bt.fallback_lanes)
+                reg.histogram("repro_batch_width",
+                              "fresh lanes per batched wave"
+                              ).observe(bt.vector_lanes + bt.fallback_lanes)
         elif isinstance(event, BackendSelected):
             reg.counter("repro_backend_campaigns_total",
                         "campaigns run, by execution backend",

@@ -33,6 +33,13 @@ def pytest_addoption(parser):
         help="seed for tests/test_chaos_matrix.py's random fault-plan "
              "generator (default: the suite's fixed seed; CI also runs "
              "one fresh seed per workflow run)")
+    chaos.addoption(
+        "--backend", default=None,
+        choices=["compiled", "tree", "batched"],
+        help="execution backend for tests/test_chaos_matrix.py's "
+             "campaigns (default: the CampaignConfig default; CI smokes "
+             "the batched backend to prove crash/resume byte-identity "
+             "is backend-agnostic)")
 
 
 @pytest.fixture(scope="session")

@@ -41,6 +41,18 @@ from repro.obs import VariantQuarantined, subscribes_to
 _CASE_KW = dict(n=150, error_threshold=4.5e-8)
 _DEFAULT_FUZZ_SEED = 20240824
 
+#: ``--backend`` override for every campaign this module runs (clean
+#: baseline, chaos victims, resumes, service jobs alike — so the
+#: byte-identity assertions compare like with like).  Crash/resume
+#: byte-identity must hold under every backend; CI smokes ``batched``.
+_BACKEND: str | None = None
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _chaos_backend(request):
+    global _BACKEND
+    _BACKEND = request.config.getoption("--backend")
+
 
 def _funarc():
     return FunarcCase(**_CASE_KW)
@@ -49,6 +61,8 @@ def _funarc():
 def _config(**kw) -> CampaignConfig:
     kw.setdefault("nodes", 20)
     kw.setdefault("wall_budget_seconds", 12 * 3600)
+    if _BACKEND is not None:
+        kw.setdefault("backend", _BACKEND)
     return CampaignConfig(**kw)
 
 

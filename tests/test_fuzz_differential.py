@@ -1,18 +1,23 @@
-"""Differential fuzzing: the compiled backend vs the tree walker.
+"""Differential fuzzing: tree walker vs compiled vs batched, three ways.
 
-The compiled execution backend (:mod:`repro.fortran.compile`) is only
-trustworthy because it is pinned **bit-identical** to the reference tree
-walker — same observables, same stdout, same operation-ledger charges,
-same errors.  This suite generates ~200 seeded random Fortran-miniature
-programs covering the constructs the models exercise — assignments, DO
-loops, IF/ELSE, calls with mixed-kind arguments, intrinsics from the
-supported table, precision overlays — runs each through both backends,
-and asserts the full artifact set matches bit-for-bit.
+The compiled execution backend (:mod:`repro.fortran.compile`) and the
+variant-batched lockstep engine (:mod:`repro.fortran.batch`) are only
+trustworthy because they are pinned **bit-identical** to the reference
+tree walker — same observables, same stdout, same operation-ledger
+charges, same errors.  This suite generates ~200 seeded random
+Fortran-miniature programs covering the constructs the models exercise —
+assignments, DO loops, IF/ELSE, calls with mixed-kind arguments,
+intrinsics from the supported table, precision overlays — then runs each
+through all three backends: every program becomes a random wave of 1–16
+precision overlays, each lane of one :class:`VariantBatch` is checked
+against a scalar tree run *and* a scalar compiled run of the same
+overlay, bit-for-bit over the full artifact set.
 
 On a mismatch the offending program is shrunk (greedy statement
-deletion plus control-flow flattening, re-checking the divergence after
-every step) and the **minimal** program, its overlay, and the artifact
-diff are printed — a ready-to-paste reproducer.
+deletion plus control-flow flattening, then lane dropping and overlay
+thinning, re-checking the divergence after every step) and the
+**minimal** program, its wave of overlays, and the artifact diff are
+printed — a ready-to-paste reproducer that names the divergent lane.
 
 Seeding: every program derives from ``(--fuzz-seed, program index)``,
 so a CI failure at seed S index K reproduces locally with
@@ -27,7 +32,8 @@ import random
 import pytest
 
 from repro.fortran import (CompiledInterpreter, Interpreter, OutBox,
-                           analyze, analyze_program, parse_source)
+                           VariantBatch, analyze, analyze_program,
+                           parse_source)
 from repro.fortran.symbols import KIND_DOUBLE, KIND_SINGLE
 from repro.perf import ledger_fingerprint
 
@@ -153,6 +159,11 @@ def make_overlay(rng: random.Random) -> dict[str, int]:
             for atom in _OVERLAY_ATOMS if rng.random() < 0.5}
 
 
+def make_wave(rng: random.Random) -> list[dict[str, int]]:
+    """A random batch of 1–16 per-lane precision overlays."""
+    return [make_overlay(rng) for _ in range(rng.randint(1, 16))]
+
+
 # ---------------------------------------------------------------------------
 # Rendering and execution
 # ---------------------------------------------------------------------------
@@ -214,12 +225,8 @@ def render(stmts: list) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _execute(source: str, overlay: dict[str, int], factory):
+def _drive(interp):
     """Artifacts of one run: observable bits, stdout, ledger, error."""
-    index = analyze(parse_source(source))
-    vec = analyze_program(index)
-    interp = factory(index, overlay=dict(overlay), vec_info=vec,
-                     max_ops=2_000_000)
     box = OutBox(None)
     error = None
     try:
@@ -241,14 +248,48 @@ def _execute(source: str, overlay: dict[str, int], factory):
     }
 
 
-def divergence(stmts: list, overlay: dict[str, int]):
-    """The artifact diff between backends, or None when bit-identical."""
+def _analyzed(source: str):
+    index = analyze(parse_source(source))
+    return index, analyze_program(index)
+
+
+def _execute(source: str, overlay: dict[str, int], factory):
+    index, vec = _analyzed(source)
+    return _drive(factory(index, overlay=dict(overlay), vec_info=vec,
+                          max_ops=2_000_000))
+
+
+def divergence(stmts: list, overlays: list[dict[str, int]]):
+    """First three-way artifact diff across the wave, or None.
+
+    Every lane of one :class:`VariantBatch` over *overlays* is compared
+    against a scalar tree run and a scalar compiled run of the same
+    overlay.  Returns ``(lane, {field: (tree, compiled, batched)})`` for
+    the first divergent lane, so reproducers can name it.
+    """
     source = render(stmts)
-    tree = _execute(source, overlay, Interpreter)
-    compiled = _execute(source, overlay, CompiledInterpreter)
-    diff = {field: (tree[field], compiled[field])
-            for field in tree if tree[field] != compiled[field]}
-    return diff or None
+    index, vec = _analyzed(source)
+    batch = VariantBatch(index, [dict(o) for o in overlays],
+                         vec_info=vec, max_ops=2_000_000)
+    lanes = [_drive(batch.lane(i)) for i in range(len(overlays))]
+    scalar: dict[tuple, tuple[dict, dict]] = {}
+    for lane, overlay in enumerate(overlays):
+        key = tuple(sorted(overlay.items()))
+        if key not in scalar:
+            scalar[key] = (
+                _drive(Interpreter(index, overlay=dict(overlay),
+                                   vec_info=vec, max_ops=2_000_000)),
+                _drive(CompiledInterpreter(index, overlay=dict(overlay),
+                                           vec_info=vec,
+                                           max_ops=2_000_000)))
+        tree, compiled = scalar[key]
+        batched = lanes[lane]
+        diff = {field: (tree[field], compiled[field], batched[field])
+                for field in tree
+                if not (tree[field] == compiled[field] == batched[field])}
+        if diff:
+            return lane, diff
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -266,42 +307,65 @@ def _variants(stmts: list):
             yield stmts[:i] + stmt[2] + stmt[3] + stmts[i + 1:]
 
 
-def shrink(stmts: list, overlay: dict[str, int]) -> tuple[list, dict]:
-    """Greedily minimize a diverging program, keeping it diverging."""
+def shrink(stmts: list, overlays: list[dict[str, int]]
+           ) -> tuple[list, list[dict[str, int]]]:
+    """Greedily minimize a diverging program, keeping it diverging.
+
+    Three reduction moves, cheapest first: shrink the program (drop or
+    flatten statements), narrow the wave (drop lanes that are not the
+    divergent one — lockstep bugs can depend on wave shape, so every
+    drop is re-checked), then thin the surviving lanes' overlays.
+    """
     progress = True
     while progress:
         progress = False
         for candidate in _variants(stmts):
-            if divergence(candidate, overlay) is not None:
+            if divergence(candidate, overlays) is not None:
                 stmts = candidate
                 progress = True
                 break
         if progress:
             continue
-        for atom in list(overlay):
-            smaller = {k: v for k, v in overlay.items() if k != atom}
-            if divergence(stmts, smaller) is not None:
-                overlay = smaller
+        for i in range(len(overlays)):
+            if len(overlays) == 1:
+                break
+            narrower = overlays[:i] + overlays[i + 1:]
+            if divergence(stmts, narrower) is not None:
+                overlays = narrower
                 progress = True
                 break
-    return stmts, overlay
+        if progress:
+            continue
+        for i, overlay in enumerate(overlays):
+            for atom in list(overlay):
+                smaller = {k: v for k, v in overlay.items() if k != atom}
+                thinner = overlays[:i] + [smaller] + overlays[i + 1:]
+                if divergence(stmts, thinner) is not None:
+                    overlays = thinner
+                    progress = True
+                    break
+            if progress:
+                break
+    return stmts, overlays
 
 
 def _report(index: int, seed: int, stmts: list,
-            overlay: dict[str, int]) -> str:
-    stmts, overlay = shrink(stmts, overlay)
-    diff = divergence(stmts, overlay)
+            overlays: list[dict[str, int]]) -> str:
+    stmts, overlays = shrink(stmts, overlays)
+    lane, diff = divergence(stmts, overlays)
     lines = [
-        f"backends diverge (seed {seed}, program {index}); "
-        f"minimal reproducer:",
+        f"backends diverge (seed {seed}, program {index}) at lane "
+        f"{lane} of a {len(overlays)}-wide wave; minimal reproducer:",
         render(stmts),
-        f"overlay = {overlay!r}",
+        f"overlays = {overlays!r}",
+        f"divergent lane = {lane}",
         "",
     ]
-    for field, (tree_val, compiled_val) in (diff or {}).items():
+    for field, (tree_val, compiled_val, batched_val) in diff.items():
         lines.append(f"{field}:")
         lines.append(f"  tree:     {tree_val!r}")
         lines.append(f"  compiled: {compiled_val!r}")
+        lines.append(f"  batched:  {batched_val!r}")
     return "\n".join(lines)
 
 
@@ -325,21 +389,25 @@ class TestBackendFuzz:
     def test_generated_programs_bit_identical(self, fuzz_seed, fuzz_count):
         executed = 0
         errored = 0
+        widths = set()
         for i in range(fuzz_count):
             rng = random.Random(f"{fuzz_seed}:{i}")
             stmts = make_program(rng)
-            overlay = make_overlay(rng)
-            diff = divergence(stmts, overlay)
+            overlays = make_wave(rng)
+            widths.add(len(overlays))
+            diff = divergence(stmts, overlays)
             if diff is not None:
-                pytest.fail(_report(i, fuzz_seed, stmts, overlay))
+                pytest.fail(_report(i, fuzz_seed, stmts, overlays))
             executed += 1
             source = render(stmts)
-            if _execute(source, overlay, Interpreter)["error"]:
+            if _execute(source, overlays[0], Interpreter)["error"]:
                 errored += 1
         assert executed == fuzz_count
         # The generator must exercise the error path (domain errors,
-        # overflow) but not be dominated by it.
+        # overflow) but not be dominated by it, and the wave widths
+        # must actually vary across the 1..16 range.
         assert errored < fuzz_count
+        assert len(widths) >= 4
 
     def test_shrinker_finds_minimal_program(self):
         # The shrinker itself is load-bearing diagnostics: feed it a
@@ -355,13 +423,42 @@ class TestBackendFuzz:
         original = mod.divergence
         try:
             mod.divergence = (
-                lambda s, o: ({"observable": ("x", "y")}
+                lambda s, o: ((0, {"observable": ("x", "y", "z")})
                               if marker in _flatten(s) else None))
-            minimal, overlay = shrink(stmts, {"fz::acc": KIND_SINGLE})
+            minimal, overlays = shrink(stmts, [{"fz::acc": KIND_SINGLE}])
         finally:
             mod.divergence = original
         assert _flatten(minimal) == [marker]
-        assert overlay == {}
+        assert overlays == [{}]
+
+    def test_shrinker_names_the_divergent_lane(self):
+        # A synthetic lockstep bug that only fires for one lane's
+        # overlay: the shrinker must narrow the wave to that lane and
+        # the report must name it.
+        poison = {"fz::acc": KIND_SINGLE, "fz::mix1::a": KIND_SINGLE}
+        rng = random.Random("lane-selftest")
+        stmts = make_program(rng)
+        wave = [{}, {"fz::mix2::b": KIND_DOUBLE}, dict(poison), {}]
+
+        import tests.test_fuzz_differential as mod
+        original = mod.divergence
+
+        def fake(s, overlays):
+            for lane, ov in enumerate(overlays):
+                if ov == poison:
+                    return lane, {"stdout": (("a",), ("b",), ("c",))}
+            return None
+
+        try:
+            mod.divergence = fake
+            minimal, overlays = shrink(stmts, wave)
+            report = _report(0, 0, stmts, wave)
+        finally:
+            mod.divergence = original
+        assert overlays == [poison]
+        assert minimal == []
+        assert "at lane 0 of a 1-wide wave" in report
+        assert "divergent lane = 0" in report
 
     def test_overlay_and_mixed_kind_calls_reach_boundary_casts(self,
                                                                fuzz_seed):

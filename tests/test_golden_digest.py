@@ -2,8 +2,8 @@
 
 These digests pin the exact bytes of funarc's campaign result and the
 sha256 of its numerical profile across every execution configuration
-the engine claims is equivalent: tree vs compiled backend, serial vs
-4-worker parallel.  Future backend work (new lowering rules, cache
+the engine claims is equivalent: tree vs compiled vs batched backend,
+serial vs 4-worker parallel.  Future backend work (new lowering rules, cache
 changes, charge reordering) that drifts **any** byte of the
 deterministic artifacts fails here before it can silently invalidate
 cached results, journals, or published experiment numbers.
@@ -35,7 +35,8 @@ GOLDEN_CAMPAIGN_SHA256 = (
 #: the shadow-run error statistics).
 GOLDEN_PROFILE_DIGEST = "96c17819ca5e44ed"
 
-_CONFIGS = [("tree", 1), ("tree", 4), ("compiled", 1), ("compiled", 4)]
+_CONFIGS = [("tree", 1), ("tree", 4), ("compiled", 1), ("compiled", 4),
+            ("batched", 1), ("batched", 4)]
 
 
 def _case() -> FunarcCase:

@@ -146,3 +146,97 @@ class TestNoise:
     def test_opkey_is_tuple(self):
         key = OpKey("p", "arith", 8, True)
         assert key == ("p", "arith", 8, True)
+
+
+# ---------------------------------------------------------------------------
+# CODE_CACHE key stability (repro.fortran.compile.cache_key)
+# ---------------------------------------------------------------------------
+
+_CK_SOURCE = """\
+module ck
+  implicit none
+  real(kind=8) :: shared
+contains
+  function inner(x) result(r)
+    implicit none
+    real(kind=8) :: x
+    real(kind=8) :: r
+    r = x * 2.0d0 + shared
+  end function inner
+
+  subroutine outer(out)
+    implicit none
+    real(kind=8), intent(out) :: out
+    real(kind=8) :: t
+    t = 1.0d0
+    shared = 0.5d0
+    out = inner(t)
+  end subroutine outer
+end module ck
+"""
+
+
+class TestCacheKey:
+    """Pin the canonical four-part CODE_CACHE key shape.
+
+    The docstring of ``cache_key`` is the contract; these tests are what
+    keeps the implementation from drifting away from it again.
+    """
+
+    @pytest.fixture(scope="class")
+    def index(self):
+        from repro.fortran import analyze, parse_source
+        return analyze(parse_source(_CK_SOURCE))
+
+    def test_key_has_exactly_four_parts(self, index):
+        from repro.fortran.compile import (cache_key, relevant_overlay,
+                                           source_digest)
+        key = cache_key(index, "ck::inner", None, {"ck::inner::x": 4})
+        assert len(key) == 4
+        digest, qual, vec_flag, restricted = key
+        assert digest == source_digest(index)
+        assert qual == "ck::inner"
+        assert vec_flag is False
+        assert restricted == relevant_overlay(
+            index, "ck::inner", {"ck::inner::x": 4})
+
+    def test_key_independent_of_overlay_insertion_order(self, index):
+        from repro.fortran.compile import cache_key
+        entries = [("ck::inner::x", 4), ("ck::inner::r", 8),
+                   ("ck::shared", 4)]
+        forward = cache_key(index, "ck::inner", None, dict(entries))
+        backward = cache_key(index, "ck::inner", None,
+                             dict(reversed(entries)))
+        assert forward == backward
+        # The restricted overlay really is stored sorted, not merely
+        # equal-by-luck.
+        restricted = forward[3]
+        assert list(restricted) == sorted(restricted)
+
+    def test_key_ignores_irrelevant_overlay_entries(self, index):
+        from repro.fortran.compile import cache_key
+        base = {"ck::inner::x": 4}
+        noisy = {"ck::inner::x": 4, "ck::outer::t": 4}
+        assert cache_key(index, "ck::inner", None, base) == \
+            cache_key(index, "ck::inner", None, noisy)
+
+    def test_key_varies_with_every_part(self, index):
+        from repro.fortran import analyze_program
+        from repro.fortran.compile import cache_key
+        base = cache_key(index, "ck::inner", None, {"ck::inner::x": 4})
+        vec = cache_key(index, "ck::inner", analyze_program(index),
+                        {"ck::inner::x": 4})
+        other_proc = cache_key(index, "ck::outer", None,
+                               {"ck::inner::x": 4})
+        other_kind = cache_key(index, "ck::inner", None,
+                               {"ck::inner::x": 8})
+        assert len({base, vec, other_proc, other_kind}) == 4
+
+    def test_code_for_uses_the_canonical_key(self, index):
+        from repro.fortran import analyze_program
+        from repro.fortran.compile import CodeCache, cache_key
+        cache = CodeCache()
+        vec = analyze_program(index)
+        overlay = {"ck::inner::r": 4, "ck::inner::x": 4}
+        cache.code_for(index, vec, overlay, "ck::inner")
+        assert cache_key(index, "ck::inner", vec, overlay) in cache._entries
